@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or tables.  The
+underlying simulations are executed once per pytest session through the
+shared :class:`~repro.analysis.experiments.ExperimentRunner`, so benchmark
+targets that reuse the same runs (Figures 3a-3g) do not repeat them.
+
+Run sizes are controlled by environment variables so the harness can be
+scaled up for higher-fidelity numbers:
+
+* ``REPRO_BENCH_ACCESSES``      — compute accesses per 16-thread run
+* ``REPRO_BENCH_MP_ACCESSES``   — accesses per copy in the 2-process runs
+* ``REPRO_BENCH_SCALE``         — machine/workload down-scaling factor
+* ``REPRO_BENCH_SEED``          — base seed
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner, ExperimentSettings
+
+
+def _session_settings() -> ExperimentSettings:
+    settings = ExperimentSettings.from_environment()
+    return settings
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """Session-wide experiment runner with cached simulation results."""
+    return ExperimentRunner(_session_settings())
+
+
+@pytest.fixture(scope="session")
+def fig3_subset() -> list:
+    """Benchmarks used by the per-figure benches.
+
+    The full eight-benchmark suite is used by default; set
+    ``REPRO_BENCH_BENCHMARKS`` to a comma-separated subset to shorten runs.
+    """
+    import os
+
+    from repro.workloads.registry import PAPER_BENCHMARKS
+
+    override = os.environ.get("REPRO_BENCH_BENCHMARKS")
+    if override:
+        return [name.strip() for name in override.split(",") if name.strip()]
+    return list(PAPER_BENCHMARKS)

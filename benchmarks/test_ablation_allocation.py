@@ -1,0 +1,49 @@
+"""Ablation: NUMA placement policy and eviction-notification sensitivity.
+
+Not a paper figure: quantifies two design choices DESIGN.md calls out —
+how much of ALLARM's eviction reduction survives under interleaved page
+placement (where the private-data assumption breaks), and how the
+directory pressure changes with the stronger eviction-notification
+baseline.
+"""
+
+from repro.analysis.experiments import ExperimentSettings
+from repro.system.config import experiment_config
+from repro.system.simulator import simulate
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.registry import build_spec
+
+
+def _run(policy, placement, settings):
+    spec = build_spec("barnes", total_accesses=settings.accesses).with_footprint_scale(
+        settings.scale
+    )
+    config = experiment_config(
+        policy, scale=settings.scale, placement_policy=placement
+    )
+    return simulate(config, SyntheticWorkload(spec).generate(), "barnes").snapshot
+
+
+def test_ablation_placement_policy(benchmark):
+    settings = ExperimentSettings.from_environment()
+
+    def run_all():
+        results = {}
+        for placement in ("first-touch", "interleaved"):
+            base = _run("baseline", placement, settings)
+            allarm = _run("allarm", placement, settings)
+            results[placement] = (base, allarm)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\nAblation — ALLARM eviction reduction vs NUMA placement (barnes)")
+    reductions = {}
+    for placement, (base, allarm) in results.items():
+        ratio = allarm.pf_evictions / max(base.pf_evictions, 1)
+        reductions[placement] = ratio
+        print(f"  {placement:<12} evictions ALLARM/baseline = {ratio:.3f} "
+              f"(local fraction {base.local_fraction:.2f})")
+    # First-touch placement is what makes local requests private; ALLARM's
+    # advantage must shrink (or vanish) under interleaved placement.
+    assert reductions["first-touch"] <= reductions["interleaved"] + 0.05

@@ -1,0 +1,19 @@
+"""Section III-B area table: probe-filter area vs coverage."""
+
+from repro.analysis.figures import area_table, format_area_table
+from repro.energy.area import PAPER_AREA_TABLE
+
+
+def test_area_table(benchmark):
+    rows = benchmark.pedantic(area_table, rounds=1, iterations=1)
+
+    print("\nArea table — probe-filter area vs coverage")
+    print(format_area_table(rows))
+    by_size = {row.pf_size: row.area_mm2 for row in rows}
+    # Calibrated points reproduce the paper's McPAT numbers exactly.
+    for coverage, expected in PAPER_AREA_TABLE.items():
+        assert abs(by_size[coverage] - expected) < 1e-6
+    # Area must shrink monotonically with coverage.
+    sizes = sorted(by_size)
+    areas = [by_size[size] for size in sizes]
+    assert areas == sorted(areas)

@@ -1,0 +1,19 @@
+"""Figure 2: ratio of local to remote requests at the directories."""
+
+from repro.analysis.figures import figure2_local_remote, format_figure2
+
+
+def test_fig2_local_remote(benchmark, runner, fig3_subset):
+    rows = benchmark.pedantic(
+        figure2_local_remote, args=(runner, fig3_subset), rounds=1, iterations=1
+    )
+
+    print("\nFigure 2 — local vs remote directory requests")
+    print(format_figure2(rows))
+    for row in rows:
+        assert 0.0 <= row.local_fraction <= 1.0
+        assert abs(row.local_fraction + row.remote_fraction - 1.0) < 1e-9
+    # The paper deliberately picks workloads where remote accesses dominate
+    # in aggregate; verify the suite-wide mix leans remote.
+    average_local = sum(r.local_fraction for r in rows) / len(rows)
+    assert average_local < 0.75

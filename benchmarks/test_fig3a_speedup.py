@@ -1,0 +1,19 @@
+"""Figure 3a: speedup of ALLARM over the baseline (16 threads)."""
+
+from repro.analysis.figures import figure3_comparison, format_figure3
+from repro.stats.compare import geometric_mean
+
+
+def test_fig3a_speedup(benchmark, runner, fig3_subset):
+    rows = benchmark.pedantic(
+        figure3_comparison, args=(runner, fig3_subset), rounds=1, iterations=1
+    )
+
+    print("\nFigure 3a — speedup (and companion ratios)")
+    print(format_figure3(rows))
+    geomean = geometric_mean([row.speedup for row in rows])
+    print(f"geomean speedup: {geomean:.3f}")
+    # Shape check: ALLARM must not collapse performance anywhere; the paper
+    # reports gains on all benchmarks except fluidanimate.
+    assert all(row.speedup > 0.9 for row in rows)
+    assert geomean > 0.95

@@ -1,0 +1,20 @@
+"""Figure 3b: probe-filter evictions normalised to the baseline."""
+
+from repro.analysis.figures import figure3_comparison
+from repro.stats.compare import geometric_mean
+
+
+def test_fig3b_evictions(benchmark, runner, fig3_subset):
+    rows = benchmark.pedantic(
+        figure3_comparison, args=(runner, fig3_subset), rounds=1, iterations=1
+    )
+
+    print("\nFigure 3b — normalised probe-filter evictions (ALLARM / baseline)")
+    for row in rows:
+        print(f"  {row.benchmark:<16} {row.normalized_evictions:6.3f}")
+    ratios = [row.normalized_evictions for row in rows]
+    mean_ratio = sum(ratios) / len(ratios)
+    print(f"  mean reduction: {(1 - mean_ratio) * 100:.1f}%")
+    # The paper reports a 46% average reduction; require a substantial one.
+    assert mean_ratio < 0.85
+    assert all(ratio <= 1.05 for ratio in ratios)

@@ -1,0 +1,18 @@
+"""Figure 3c: network traffic (bytes) normalised to the baseline."""
+
+from repro.analysis.figures import figure3_comparison
+
+
+def test_fig3c_traffic(benchmark, runner, fig3_subset):
+    rows = benchmark.pedantic(
+        figure3_comparison, args=(runner, fig3_subset), rounds=1, iterations=1
+    )
+
+    print("\nFigure 3c — normalised network traffic (bytes)")
+    for row in rows:
+        print(f"  {row.benchmark:<16} {row.normalized_traffic:6.3f}")
+    mean_ratio = sum(row.normalized_traffic for row in rows) / len(rows)
+    print(f"  mean reduction: {(1 - mean_ratio) * 100:.1f}%")
+    # ALLARM removes coherence traffic for thread-local data; traffic must
+    # not increase on average.
+    assert mean_ratio <= 1.0

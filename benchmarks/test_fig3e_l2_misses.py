@@ -1,0 +1,16 @@
+"""Figure 3e: L2 misses normalised to the baseline."""
+
+from repro.analysis.figures import figure3_comparison
+
+
+def test_fig3e_l2_misses(benchmark, runner, fig3_subset):
+    rows = benchmark.pedantic(
+        figure3_comparison, args=(runner, fig3_subset), rounds=1, iterations=1
+    )
+
+    print("\nFigure 3e — normalised L2 misses")
+    for row in rows:
+        print(f"  {row.benchmark:<16} {row.normalized_l2_misses:6.3f}")
+    # Fewer probe-filter evictions mean fewer invalidation-induced misses,
+    # so ALLARM must never increase L2 misses materially.
+    assert all(row.normalized_l2_misses <= 1.02 for row in rows)

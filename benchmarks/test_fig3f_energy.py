@@ -1,0 +1,24 @@
+"""Figure 3f: dynamic energy of the NoC and probe filter, normalised."""
+
+from repro.analysis.figures import figure3_comparison
+from repro.stats.compare import geometric_mean
+
+
+def test_fig3f_dynamic_energy(benchmark, runner, fig3_subset):
+    rows = benchmark.pedantic(
+        figure3_comparison, args=(runner, fig3_subset), rounds=1, iterations=1
+    )
+
+    print("\nFigure 3f — normalised dynamic energy (NoC, probe filter)")
+    for row in rows:
+        print(
+            f"  {row.benchmark:<16} noc={row.normalized_noc_energy:6.3f} "
+            f"pf={row.normalized_pf_energy:6.3f}"
+        )
+    noc_mean = geometric_mean([row.normalized_noc_energy for row in rows])
+    pf_mean = geometric_mean([row.normalized_pf_energy for row in rows])
+    print(f"  geomean: noc={noc_mean:.3f} pf={pf_mean:.3f}")
+    # The paper reports 8-9% NoC and 14-15% probe-filter savings; require
+    # savings (not growth) in both components.
+    assert noc_mean <= 1.0
+    assert pf_mean < 1.0

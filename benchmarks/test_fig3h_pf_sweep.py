@@ -1,0 +1,27 @@
+"""Figure 3h: ALLARM speedup as the probe filter shrinks (512/256/128 kB)."""
+
+from collections import defaultdict
+
+from repro.analysis.experiments import FIG3H_PF_SIZES
+from repro.analysis.figures import figure3h_pf_size_sweep, format_figure3h
+
+
+def test_fig3h_pf_size_sweep(benchmark, runner, fig3_subset):
+    rows = benchmark.pedantic(
+        figure3h_pf_size_sweep,
+        args=(runner, fig3_subset, FIG3H_PF_SIZES),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nFigure 3h — ALLARM speedup vs probe-filter size (vs 512kB baseline)")
+    print(format_figure3h(rows))
+    by_benchmark = defaultdict(dict)
+    for row in rows:
+        by_benchmark[row.benchmark][row.pf_size] = row.speedup
+    for name, series in by_benchmark.items():
+        # Shrinking the probe filter must never *improve* ALLARM by a large
+        # margin, and performance should not collapse at 256 kB (the paper:
+        # ALLARM maintains performance for the majority of benchmarks).
+        assert series[256 * 1024] > 0.5 * series[512 * 1024]
+        assert all(speedup > 0.3 for speedup in series.values())

@@ -1,0 +1,35 @@
+"""Figures 4a-4f: two-process runs swept over probe-filter sizes."""
+
+from collections import defaultdict
+
+from repro.analysis.experiments import FIG4_PF_SIZES
+from repro.analysis.figures import figure4_multiprocess, format_figure4
+from repro.workloads.registry import MULTIPROCESS_BENCHMARKS
+
+
+def test_fig4_multiprocess(benchmark, runner):
+    rows = benchmark.pedantic(
+        figure4_multiprocess,
+        args=(runner, MULTIPROCESS_BENCHMARKS, FIG4_PF_SIZES),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nFigure 4 — multi-process sweep (normalised to baseline @512kB)")
+    print(format_figure4(rows))
+
+    evictions = defaultdict(dict)
+    for row in rows:
+        evictions[(row.benchmark, row.policy)][row.pf_size] = row.normalized_evictions
+
+    smallest = FIG4_PF_SIZES[-1]
+    largest = FIG4_PF_SIZES[0]
+    for bench in MULTIPROCESS_BENCHMARKS:
+        baseline_series = evictions[(bench, "baseline")]
+        allarm_series = evictions[(bench, "allarm")]
+        # Baseline eviction counts must grow sharply as the probe filter
+        # shrinks (Figure 4b shows growth of up to ~250x).
+        assert baseline_series[smallest] >= baseline_series[largest]
+        # ALLARM must stay far below the baseline at the smallest size
+        # (Figure 4e: note the different y-axis scale in the paper).
+        assert allarm_series[smallest] <= baseline_series[smallest]

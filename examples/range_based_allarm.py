@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Range-registered ALLARM and per-directory opt-out (Section II-C / III-A).
+
+The paper proposes two deployment controls for ALLARM: boot-time range
+registers (MTRR-like) that restrict the policy to chosen physical ranges,
+and a per-directory disable for workloads such as fluidanimate where
+capacity misses dominate and ALLARM cannot help.  This example exercises
+both:
+
+1. runs fluidanimate with ALLARM fully enabled, fully disabled, and
+   enabled only on the lower half of physical memory (range registers);
+2. prints the resulting eviction and traffic numbers so the effect of each
+   control is visible.
+
+Usage::
+
+    python examples/range_based_allarm.py [accesses]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+
+from repro.core.policy import PhysicalRange
+from repro.system.config import experiment_config
+from repro.system.simulator import simulate
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.registry import build_spec
+
+SCALE = 16
+BENCH = "fluidanimate"
+
+
+def run(label: str, config, accesses: int):
+    """Run fluidanimate on *config* and print one summary row."""
+    spec = build_spec(BENCH, total_accesses=accesses).with_footprint_scale(SCALE)
+    snapshot = simulate(config, SyntheticWorkload(spec).generate(), BENCH).snapshot
+    print(f"{label:<34} {snapshot.execution_time_ns / 1e3:10.1f} "
+          f"{snapshot.pf_evictions:10d} {snapshot.pf_allocations:12d} "
+          f"{snapshot.network_bytes:11d}")
+    return snapshot
+
+
+def main() -> int:
+    accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+
+    baseline_cfg = experiment_config("baseline", scale=SCALE)
+    allarm_cfg = experiment_config("allarm", scale=SCALE)
+
+    # Range registers: ALLARM active only on the lower half of physical
+    # memory (the first eight nodes' memory), baseline behaviour elsewhere.
+    half_memory = baseline_cfg.directory.memory_bytes // 2
+    ranged_cfg = replace(
+        allarm_cfg, allarm_ranges=(PhysicalRange(0, half_memory),)
+    )
+
+    # Per-directory opt-out: ALLARM disabled on the odd-numbered nodes.
+    disabled_cfg = replace(
+        allarm_cfg, allarm_disabled_nodes=tuple(range(1, 16, 2))
+    )
+
+    print(f"fluidanimate, {accesses} accesses, machine scaled by 1/{SCALE}")
+    print(f"{'configuration':<34} {'exec (us)':>10} {'evictions':>10} "
+          f"{'allocations':>12} {'net bytes':>11}")
+    baseline = run("baseline", baseline_cfg, accesses)
+    full = run("ALLARM (all memory)", allarm_cfg, accesses)
+    ranged = run("ALLARM (lower half via ranges)", ranged_cfg, accesses)
+    half_disabled = run("ALLARM (odd directories disabled)", disabled_cfg, accesses)
+
+    print()
+    print("Allocation reduction vs baseline:")
+    for label, snap in (
+        ("all memory", full),
+        ("ranged", ranged),
+        ("odd directories disabled", half_disabled),
+    ):
+        reduction = 1 - snap.pf_allocations / max(baseline.pf_allocations, 1)
+        print(f"  {label:<28} {reduction * 100:5.1f}%")
+    print()
+    print("The ranged and per-directory configurations land between the "
+          "baseline and full ALLARM, which is exactly the control the paper "
+          "proposes for capacity-bound workloads like fluidanimate.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

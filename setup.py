@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools lacks
+the ``wheel`` package needed for PEP 660 editable installs (pip then falls
+back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""repro — a reproduction of *ALLARM: Optimizing Sparse Directories for
+Thread-Local Data* (Roy & Jones, DATE 2014).
+
+The package provides a trace-driven, transaction-level simulator of a
+16-node NUMA multicore with sparse-directory (probe-filter) cache
+coherence, synthetic SPLASH2/Parsec-like workloads, McPAT-style energy
+and area models, and an experiment harness that regenerates every figure
+and table of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import paper_config, build_workload, simulate
+>>> spec = build_workload("barnes", total_accesses=20_000)
+>>> baseline = simulate(paper_config("baseline"), spec.generate(), "barnes")
+>>> allarm = simulate(paper_config("allarm"),
+...                   build_workload("barnes", total_accesses=20_000).generate(),
+...                   "barnes")
+>>> allarm.snapshot.pf_evictions <= baseline.snapshot.pf_evictions
+True
+"""
+
+from repro.core.policy import AllarmPolicy, BaselinePolicy, PhysicalRange
+from repro.energy.mcpat import McPatModel
+from repro.errors import (
+    AddressError,
+    AllocationError,
+    ConfigurationError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.stats.compare import RunComparison, geometric_mean
+from repro.stats.snapshot import MachineSnapshot, collect
+from repro.system.config import (
+    SystemConfig,
+    experiment_config,
+    paper_config,
+    scaled_config,
+)
+from repro.system.machine import Machine
+from repro.system.simulator import SimulationResult, Simulator, simulate
+from repro.trace.record import AccessRecord, AccessType
+from repro.version import __version__, version_string
+from repro.workloads.registry import (
+    PAPER_BENCHMARKS,
+    benchmark_names,
+    build_spec,
+    build_workload,
+)
+
+__all__ = [
+    "__version__",
+    "version_string",
+    # configuration and system
+    "SystemConfig",
+    "paper_config",
+    "scaled_config",
+    "experiment_config",
+    "Machine",
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+    # the contribution
+    "BaselinePolicy",
+    "AllarmPolicy",
+    "PhysicalRange",
+    # workloads and traces
+    "PAPER_BENCHMARKS",
+    "benchmark_names",
+    "build_spec",
+    "build_workload",
+    "AccessRecord",
+    "AccessType",
+    # statistics and energy
+    "MachineSnapshot",
+    "collect",
+    "RunComparison",
+    "geometric_mean",
+    "McPatModel",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "AddressError",
+    "AllocationError",
+    "ProtocolError",
+    "NetworkError",
+    "WorkloadError",
+    "SimulationError",
+]

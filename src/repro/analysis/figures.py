@@ -1,0 +1,338 @@
+"""Figure and table generators: one function per evaluation artefact.
+
+Each function reproduces the rows/series of one figure or table from the
+paper's evaluation (Section III), using an :class:`ExperimentRunner` to
+execute (and cache) the underlying simulations.  Every function returns a
+plain data structure (lists of dataclasses) and has a matching
+``format_*`` helper that renders the same content as text, which is what
+the benchmark harness and the examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.experiments import (
+    FIG3H_PF_SIZES,
+    FIG4_PF_SIZES,
+    ExperimentRunner,
+    default_runner,
+)
+from repro.energy.mcpat import McPatModel
+from repro.stats.compare import RunComparison, geometric_mean
+from repro.system.config import experiment_config
+from repro.workloads.registry import MULTIPROCESS_BENCHMARKS, PAPER_BENCHMARKS
+
+
+# ----------------------------------------------------------------------
+# Row types
+# ----------------------------------------------------------------------
+@dataclass
+class Figure2Row:
+    """Local/remote directory-request mix for one benchmark (Figure 2)."""
+
+    benchmark: str
+    local_fraction: float
+    remote_fraction: float
+
+
+@dataclass
+class Figure3Row:
+    """Per-benchmark ALLARM-vs-baseline ratios (Figures 3a–3g)."""
+
+    benchmark: str
+    speedup: float
+    normalized_evictions: float
+    normalized_traffic: float
+    messages_per_eviction: float
+    normalized_l2_misses: float
+    normalized_noc_energy: float
+    normalized_pf_energy: float
+    probe_hidden_fraction: float
+
+
+@dataclass
+class Figure3hRow:
+    """Speedup over the 512 kB baseline for each PF size (Figure 3h)."""
+
+    benchmark: str
+    pf_size: int
+    speedup: float
+
+
+@dataclass
+class Figure4Row:
+    """Multi-process metrics vs. PF size, one policy (Figure 4)."""
+
+    benchmark: str
+    policy: str
+    pf_size: int
+    speedup: float
+    normalized_evictions: float
+    normalized_traffic: float
+
+
+@dataclass
+class AreaRow:
+    """Probe-filter area for one coverage (Section III-B table)."""
+
+    pf_size: int
+    area_mm2: float
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — local vs. remote requests
+# ----------------------------------------------------------------------
+def figure2_local_remote(
+    runner: Optional[ExperimentRunner] = None,
+    benchmarks: Optional[List[str]] = None,
+) -> List[Figure2Row]:
+    """Ratio of local to remote requests at the directories (Figure 2)."""
+    runner = runner or default_runner()
+    rows = []
+    for benchmark in benchmarks or PAPER_BENCHMARKS:
+        snapshot = runner.run_benchmark(benchmark, "baseline")
+        rows.append(
+            Figure2Row(
+                benchmark=benchmark,
+                local_fraction=snapshot.local_fraction,
+                remote_fraction=snapshot.remote_fraction,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 3a–3g — 16-thread ALLARM vs. baseline
+# ----------------------------------------------------------------------
+def figure3_comparison(
+    runner: Optional[ExperimentRunner] = None,
+    benchmarks: Optional[List[str]] = None,
+) -> List[Figure3Row]:
+    """All per-benchmark ratios for Figures 3a–3g in one pass."""
+    runner = runner or default_runner()
+    mcpat = McPatModel()
+    coverage = experiment_config(
+        "baseline", scale=runner.settings.scale
+    ).directory.probe_filter_coverage
+    rows = []
+    for benchmark in benchmarks or PAPER_BENCHMARKS:
+        baseline, allarm = runner.run_pair(benchmark)
+        comparison = RunComparison(baseline=baseline, experiment=allarm)
+        energy = mcpat.normalized(baseline, allarm, coverage)
+        rows.append(
+            Figure3Row(
+                benchmark=benchmark,
+                speedup=comparison.speedup,
+                normalized_evictions=comparison.normalized_evictions,
+                normalized_traffic=comparison.normalized_traffic,
+                messages_per_eviction=baseline.messages_per_eviction,
+                normalized_l2_misses=comparison.normalized_l2_misses,
+                normalized_noc_energy=energy.noc,
+                normalized_pf_energy=energy.probe_filter,
+                probe_hidden_fraction=allarm.probe_hidden_fraction,
+            )
+        )
+    return rows
+
+
+def figure3a_speedup(runner: Optional[ExperimentRunner] = None) -> Dict[str, float]:
+    """Figure 3a: per-benchmark speedup plus the geometric mean."""
+    rows = figure3_comparison(runner)
+    result = {row.benchmark: row.speedup for row in rows}
+    result["geomean"] = geometric_mean([row.speedup for row in rows])
+    return result
+
+
+def figure3b_evictions(runner: Optional[ExperimentRunner] = None) -> Dict[str, float]:
+    """Figure 3b: normalised probe-filter evictions (ALLARM / baseline)."""
+    rows = figure3_comparison(runner)
+    result = {row.benchmark: row.normalized_evictions for row in rows}
+    result["geomean"] = geometric_mean(
+        [row.normalized_evictions for row in rows if row.normalized_evictions > 0]
+    )
+    return result
+
+
+def figure3c_traffic(runner: Optional[ExperimentRunner] = None) -> Dict[str, float]:
+    """Figure 3c: normalised network traffic in bytes."""
+    rows = figure3_comparison(runner)
+    result = {row.benchmark: row.normalized_traffic for row in rows}
+    result["geomean"] = geometric_mean([row.normalized_traffic for row in rows])
+    return result
+
+
+def figure3d_messages_per_eviction(
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict[str, float]:
+    """Figure 3d: average coherence messages per probe-filter eviction."""
+    rows = figure3_comparison(runner)
+    return {row.benchmark: row.messages_per_eviction for row in rows}
+
+
+def figure3e_l2_misses(runner: Optional[ExperimentRunner] = None) -> Dict[str, float]:
+    """Figure 3e: normalised L2 misses."""
+    rows = figure3_comparison(runner)
+    return {row.benchmark: row.normalized_l2_misses for row in rows}
+
+
+def figure3f_dynamic_energy(
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict[str, Tuple[float, float]]:
+    """Figure 3f: normalised dynamic energy as ``(noc, probe filter)``."""
+    rows = figure3_comparison(runner)
+    result = {
+        row.benchmark: (row.normalized_noc_energy, row.normalized_pf_energy)
+        for row in rows
+    }
+    result["geomean"] = (
+        geometric_mean([row.normalized_noc_energy for row in rows]),
+        geometric_mean([row.normalized_pf_energy for row in rows]),
+    )
+    return result
+
+
+def figure3g_latency_hiding(
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict[str, float]:
+    """Figure 3g: fraction of remote misses whose local probe was hidden."""
+    rows = figure3_comparison(runner)
+    return {row.benchmark: row.probe_hidden_fraction for row in rows}
+
+
+# ----------------------------------------------------------------------
+# Figure 3h — probe-filter size sweep (16 threads)
+# ----------------------------------------------------------------------
+def figure3h_pf_size_sweep(
+    runner: Optional[ExperimentRunner] = None,
+    benchmarks: Optional[List[str]] = None,
+    pf_sizes: Tuple[int, ...] = FIG3H_PF_SIZES,
+) -> List[Figure3hRow]:
+    """Figure 3h: ALLARM speedup vs. PF size, normalised to 512 kB baseline."""
+    runner = runner or default_runner()
+    rows = []
+    for benchmark in benchmarks or PAPER_BENCHMARKS:
+        reference = runner.run_benchmark(benchmark, "baseline", pf_sizes[0])
+        for pf_size in pf_sizes:
+            allarm = runner.run_benchmark(benchmark, "allarm", pf_size)
+            rows.append(
+                Figure3hRow(
+                    benchmark=benchmark,
+                    pf_size=pf_size,
+                    speedup=RunComparison(reference, allarm).speedup,
+                )
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — multi-process probe-filter size sweep
+# ----------------------------------------------------------------------
+def figure4_multiprocess(
+    runner: Optional[ExperimentRunner] = None,
+    benchmarks: Optional[List[str]] = None,
+    pf_sizes: Tuple[int, ...] = FIG4_PF_SIZES,
+    policies: Tuple[str, ...] = ("baseline", "allarm"),
+) -> List[Figure4Row]:
+    """Figures 4a–4f: two-process runs swept over probe-filter sizes.
+
+    Every metric is normalised to the *baseline* run with the largest
+    probe filter, exactly as in the paper.
+    """
+    runner = runner or default_runner()
+    rows = []
+    for benchmark in benchmarks or MULTIPROCESS_BENCHMARKS:
+        reference = runner.run_multiprocess(benchmark, "baseline", pf_sizes[0])
+        for policy in policies:
+            for pf_size in pf_sizes:
+                snapshot = runner.run_multiprocess(benchmark, policy, pf_size)
+                comparison = RunComparison(reference, snapshot)
+                rows.append(
+                    Figure4Row(
+                        benchmark=benchmark,
+                        policy=policy,
+                        pf_size=pf_size,
+                        speedup=comparison.speedup,
+                        normalized_evictions=comparison.normalized_evictions,
+                        normalized_traffic=comparison.normalized_traffic,
+                    )
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Area table (Section III-B)
+# ----------------------------------------------------------------------
+def area_table(pf_sizes: Tuple[int, ...] = FIG4_PF_SIZES) -> List[AreaRow]:
+    """Probe-filter area vs. coverage (the table in Section III-B)."""
+    model = McPatModel()
+    return [AreaRow(pf_size=size, area_mm2=model.area.area_mm2(size)) for size in pf_sizes]
+
+
+# ----------------------------------------------------------------------
+# Text rendering helpers
+# ----------------------------------------------------------------------
+def format_figure2(rows: List[Figure2Row]) -> str:
+    """Render Figure 2 as an aligned text table."""
+    lines = [f"{'benchmark':<16} {'local':>7} {'remote':>7}"]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<16} {row.local_fraction:7.3f} {row.remote_fraction:7.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure3(rows: List[Figure3Row]) -> str:
+    """Render Figures 3a–3g as one combined text table."""
+    header = (
+        f"{'benchmark':<16} {'speedup':>8} {'evict':>7} {'traffic':>8} "
+        f"{'msg/ev':>7} {'l2miss':>7} {'E.noc':>6} {'E.pf':>6} {'hidden':>7}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<16} {row.speedup:8.3f} {row.normalized_evictions:7.3f} "
+            f"{row.normalized_traffic:8.3f} {row.messages_per_eviction:7.2f} "
+            f"{row.normalized_l2_misses:7.3f} {row.normalized_noc_energy:6.3f} "
+            f"{row.normalized_pf_energy:6.3f} {row.probe_hidden_fraction:7.3f}"
+        )
+    lines.append(
+        f"{'geomean':<16} {geometric_mean([r.speedup for r in rows]):8.3f} "
+        f"{geometric_mean([r.normalized_evictions for r in rows if r.normalized_evictions > 0]):7.3f} "
+        f"{geometric_mean([r.normalized_traffic for r in rows]):8.3f}"
+    )
+    return "\n".join(lines)
+
+
+def format_figure3h(rows: List[Figure3hRow]) -> str:
+    """Render Figure 3h grouped by benchmark."""
+    lines = [f"{'benchmark':<16} {'pf size':>9} {'speedup':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<16} {row.pf_size // 1024:7d}kB {row.speedup:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure4(rows: List[Figure4Row]) -> str:
+    """Render Figures 4a–4f as one combined text table."""
+    lines = [
+        f"{'benchmark':<16} {'policy':<9} {'pf size':>9} {'speedup':>8} "
+        f"{'evict':>8} {'traffic':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<16} {row.policy:<9} {row.pf_size // 1024:7d}kB "
+            f"{row.speedup:8.3f} {row.normalized_evictions:8.3f} "
+            f"{row.normalized_traffic:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_area_table(rows: List[AreaRow]) -> str:
+    """Render the probe-filter area table."""
+    lines = [f"{'pf size':>9} {'area (mm^2)':>12}"]
+    for row in rows:
+        lines.append(f"{row.pf_size // 1024:7d}kB {row.area_mm2:12.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Cache hierarchy: set-associative caches, replacement policies, MSHRs."""
+
+from repro.cache.cache import Cache, CacheLine, CacheStats
+from repro.cache.hierarchy import AccessResult, CacheHierarchy, EvictedLine, HitLevel
+from repro.cache.mshr import MshrEntry, MshrFile, MshrStats
+from repro.cache.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    ReplacementPolicyFactory,
+    TreePlruPolicy,
+    available_policies,
+    make_policy,
+)
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "CacheStats",
+    "CacheHierarchy",
+    "AccessResult",
+    "EvictedLine",
+    "HitLevel",
+    "MshrEntry",
+    "MshrFile",
+    "MshrStats",
+    "ReplacementPolicy",
+    "ReplacementPolicyFactory",
+    "LruPolicy",
+    "TreePlruPolicy",
+    "RandomPolicy",
+    "make_policy",
+    "available_policies",
+]

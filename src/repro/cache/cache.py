@@ -1,0 +1,276 @@
+"""Set-associative cache model with MOESI line states.
+
+This is the building block for the per-core L1 instruction, L1 data and
+private L2 caches (Table I: 32 kB 4-way L1s, 256 kB 4-way L2).  The cache
+operates on physical line addresses; tag/index decomposition follows the
+usual power-of-two geometry.
+
+Only state, occupancy and replacement are modelled — there is no data
+payload, because the evaluation depends on hit/miss behaviour, eviction
+traffic and coherence state, never on values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.cache.replacement import ReplacementPolicy, ReplacementPolicyFactory
+from repro.coherence.states import LineState
+from repro.errors import ConfigurationError
+from repro.memory.address import is_power_of_two
+
+
+@dataclass
+class CacheLine:
+    """Metadata for one resident cache line."""
+
+    line_address: int
+    state: LineState
+    way: int
+
+    @property
+    def dirty(self) -> bool:
+        """True when eviction of this line requires a writeback."""
+        return self.state.is_dirty
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for a single cache."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations_received: int = 0
+    upgrades: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups that were classified as a hit or a miss."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over all classified lookups (0.0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the counters as a plain dictionary (for reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "dirty_evictions": self.dirty_evictions,
+            "invalidations_received": self.invalidations_received,
+            "upgrades": self.upgrades,
+            "miss_rate": self.miss_rate,
+        }
+
+
+@dataclass
+class _CacheSet:
+    """One set: mapping from way index to resident line."""
+
+    lines: Dict[int, CacheLine] = field(default_factory=dict)
+    policy: Optional[ReplacementPolicy] = None
+
+
+class Cache:
+    """A set-associative cache keyed by physical line address.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name used in statistics reports (e.g. ``"L2[3]"``).
+    size_bytes, associativity, line_size:
+        Standard cache geometry; ``size_bytes`` must equal
+        ``sets * associativity * line_size`` for a power-of-two set count.
+    replacement:
+        Replacement policy name understood by
+        :class:`~repro.cache.replacement.ReplacementPolicyFactory`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        associativity: int,
+        line_size: int = 64,
+        replacement: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ConfigurationError("cache size must be positive")
+        if associativity <= 0:
+            raise ConfigurationError("associativity must be positive")
+        if not is_power_of_two(line_size):
+            raise ConfigurationError("line size must be a power of two")
+        if size_bytes % (associativity * line_size) != 0:
+            raise ConfigurationError(
+                f"cache {name}: size {size_bytes} not divisible by "
+                f"associativity*line_size ({associativity * line_size})"
+            )
+        sets = size_bytes // (associativity * line_size)
+        if not is_power_of_two(sets):
+            raise ConfigurationError(
+                f"cache {name}: set count {sets} must be a power of two"
+            )
+
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.set_count = sets
+        self.stats = CacheStats()
+
+        factory = ReplacementPolicyFactory(replacement, seed=seed)
+        self._sets: List[_CacheSet] = [
+            _CacheSet(policy=factory.create(associativity)) for _ in range(sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.set_count * self.associativity
+
+    def set_index(self, line_address: int) -> int:
+        """Return the set index for a line-aligned physical address."""
+        return (line_address // self.line_size) % self.set_count
+
+    # ------------------------------------------------------------------
+    # Lookup / fill / evict
+    # ------------------------------------------------------------------
+    def lookup(self, line_address: int, update_stats: bool = True) -> Optional[CacheLine]:
+        """Return the resident line for *line_address*, or ``None`` on miss.
+
+        When *update_stats* is true the access is counted as a hit or miss
+        and LRU state is refreshed on a hit.  Pass ``False`` for coherence
+        probes that should not perturb replacement or hit-rate statistics.
+        """
+        cache_set = self._sets[self.set_index(line_address)]
+        for line in cache_set.lines.values():
+            if line.line_address == line_address and line.state.is_valid:
+                if update_stats:
+                    self.stats.hits += 1
+                    cache_set.policy.touch(line.way)
+                return line
+        if update_stats:
+            self.stats.misses += 1
+        return None
+
+    def probe(self, line_address: int) -> Optional[CacheLine]:
+        """Coherence probe: look up without touching stats or recency."""
+        return self.lookup(line_address, update_stats=False)
+
+    def contains(self, line_address: int) -> bool:
+        """True when the line is resident in a valid state."""
+        return self.probe(line_address) is not None
+
+    def fill(self, line_address: int, state: LineState) -> Optional[CacheLine]:
+        """Install a line, returning the evicted victim line if any.
+
+        The caller is responsible for generating any writeback traffic
+        implied by a dirty victim.
+        """
+        if not state.is_valid:
+            raise ConfigurationError("cannot fill a line in the INVALID state")
+        cache_set = self._sets[self.set_index(line_address)]
+
+        existing = self.probe(line_address)
+        if existing is not None:
+            # Refill of a resident line is a state change, not an allocation.
+            existing.state = state
+            cache_set.policy.touch(existing.way)
+            return None
+
+        victim: Optional[CacheLine] = None
+        free_ways = [w for w in range(self.associativity) if w not in cache_set.lines]
+        if free_ways:
+            way = free_ways[0]
+        else:
+            occupied = sorted(cache_set.lines.keys())
+            way = cache_set.policy.victim(occupied)
+            victim = cache_set.lines.pop(way)
+            cache_set.policy.reset(way)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+
+        line = CacheLine(line_address=line_address, state=state, way=way)
+        cache_set.lines[way] = line
+        cache_set.policy.touch(way)
+        self.stats.fills += 1
+        return victim
+
+    def invalidate(self, line_address: int) -> Optional[CacheLine]:
+        """Invalidate a line in response to a coherence request.
+
+        Returns the line (with its pre-invalidation state) when it was
+        resident, so the caller can decide whether a writeback is needed.
+        """
+        cache_set = self._sets[self.set_index(line_address)]
+        for way, line in list(cache_set.lines.items()):
+            if line.line_address == line_address and line.state.is_valid:
+                del cache_set.lines[way]
+                cache_set.policy.reset(way)
+                self.stats.invalidations_received += 1
+                return line
+        return None
+
+    def set_state(self, line_address: int, state: LineState) -> CacheLine:
+        """Change the coherence state of a resident line."""
+        line = self.probe(line_address)
+        if line is None:
+            raise ConfigurationError(
+                f"{self.name}: cannot change state of non-resident line "
+                f"{line_address:#x}"
+            )
+        if state is LineState.INVALID:
+            raise ConfigurationError("use invalidate() to drop a line")
+        if state.can_write and not line.state.can_write:
+            self.stats.upgrades += 1
+        line.state = state
+        return line
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> Iterator[CacheLine]:
+        """Iterate over all valid resident lines (unspecified order)."""
+        for cache_set in self._sets:
+            yield from cache_set.lines.values()
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s.lines) for s in self._sets)
+
+    def flush(self) -> List[CacheLine]:
+        """Drop every resident line and return the dirty ones.
+
+        Used when ALLARM is disabled for a physical range at run time
+        (Section II-C: moving from ALLARM to non-ALLARM mode requires
+        flushing the range from the local core).
+        """
+        dirty: List[CacheLine] = []
+        for cache_set in self._sets:
+            for way, line in list(cache_set.lines.items()):
+                if line.dirty:
+                    dirty.append(line)
+                del cache_set.lines[way]
+                cache_set.policy.reset(way)
+        return dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.name!r}, {self.size_bytes}B, "
+            f"{self.associativity}-way, {self.set_count} sets)"
+        )

@@ -1,0 +1,24 @@
+"""Coherence substrate: MOESI states, messages and transactions."""
+
+from repro.coherence.messages import (
+    Message,
+    MessageClass,
+    MessageFactory,
+    MessageSizing,
+    MessageType,
+)
+from repro.coherence.states import LineState, fill_state
+from repro.coherence.transactions import DataSource, RequestKind, Transaction
+
+__all__ = [
+    "LineState",
+    "fill_state",
+    "Message",
+    "MessageClass",
+    "MessageFactory",
+    "MessageSizing",
+    "MessageType",
+    "DataSource",
+    "RequestKind",
+    "Transaction",
+]

@@ -1,0 +1,163 @@
+"""Coherence message types, sizes and accounting.
+
+The paper's traffic results (Figures 3c, 3d, 4c, 4f) are measured in bytes
+on the on-chip network, with control messages of 8 bytes and data messages
+of 72 bytes (64-byte line plus 8-byte header) carried in 4-byte flits
+(Table I).  This module defines the message vocabulary used by the
+directory controller and the cache controllers, and a small factory that
+stamps each message with its size and flit count.
+
+ALLARM adds exactly one message type to the baseline protocol
+(:attr:`MessageType.LOCAL_STATE_PROBE`) together with its response, which
+is the "extra message type needed to query a local cache about the current
+state of a line" described in Section II-C of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class MessageClass(Enum):
+    """Coarse classification used for sizing and energy accounting."""
+
+    CONTROL = "control"
+    DATA = "data"
+
+
+class MessageType(Enum):
+    """Every message the protocol engine can place on the network."""
+
+    # Request flow (requester -> home directory)
+    GET_SHARED = "GetS"
+    GET_EXCLUSIVE = "GetX"
+    UPGRADE = "Upgrade"
+
+    # Directory -> cache probes
+    FORWARD_GET_SHARED = "FwdGetS"
+    FORWARD_GET_EXCLUSIVE = "FwdGetX"
+    INVALIDATE = "Inv"
+
+    # ALLARM addition: query the local cache for the state of a line that
+    # has no probe-filter entry (Section II-C of the paper).
+    LOCAL_STATE_PROBE = "LocalProbe"
+    LOCAL_STATE_RESPONSE = "LocalProbeResp"
+
+    # Responses
+    DATA_FROM_MEMORY = "DataMem"
+    DATA_FROM_OWNER = "DataOwner"
+    ACK = "Ack"
+    WRITEBACK_ACK = "WbAck"
+
+    # Cache -> directory eviction traffic
+    PUT_SHARED = "PutS"
+    PUT_EXCLUSIVE = "PutE"
+    WRITEBACK_DATA = "WbData"
+
+    @property
+    def message_class(self) -> MessageClass:
+        """Whether the message carries a full cache line."""
+        if self in _DATA_MESSAGES:
+            return MessageClass.DATA
+        return MessageClass.CONTROL
+
+
+_DATA_MESSAGES = frozenset(
+    {
+        MessageType.DATA_FROM_MEMORY,
+        MessageType.DATA_FROM_OWNER,
+        MessageType.WRITEBACK_DATA,
+    }
+)
+
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """A single coherence message travelling between two nodes.
+
+    Messages between caches and directories on the *same* node never enter
+    the mesh; the network model reports zero hops and zero traffic for
+    them, matching the paper's observation that local requests generate no
+    coherence network traffic.
+    """
+
+    msg_type: MessageType
+    src: int
+    dst: int
+    line_address: int
+    size_bytes: int
+    flits: int
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    transaction_id: Optional[int] = None
+
+    @property
+    def is_data(self) -> bool:
+        """True when the message carries a cache line payload."""
+        return self.msg_type.message_class is MessageClass.DATA
+
+    @property
+    def is_local(self) -> bool:
+        """True when source and destination are the same node."""
+        return self.src == self.dst
+
+
+@dataclass(frozen=True)
+class MessageSizing:
+    """Byte and flit sizes used to stamp messages (Table I defaults)."""
+
+    control_bytes: int = 8
+    data_bytes: int = 72
+    flit_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.control_bytes <= 0 or self.data_bytes <= 0:
+            raise ConfigurationError("message sizes must be positive")
+        if self.flit_bytes <= 0:
+            raise ConfigurationError("flit size must be positive")
+        if self.data_bytes < self.control_bytes:
+            raise ConfigurationError("data messages cannot be smaller than control")
+
+    def size_of(self, msg_type: MessageType) -> int:
+        """Return the size in bytes of a message of the given type."""
+        if msg_type.message_class is MessageClass.DATA:
+            return self.data_bytes
+        return self.control_bytes
+
+    def flits_of(self, msg_type: MessageType) -> int:
+        """Return the number of flits needed to carry a message."""
+        size = self.size_of(msg_type)
+        return -(-size // self.flit_bytes)  # ceiling division
+
+
+class MessageFactory:
+    """Creates :class:`Message` objects stamped with size and flit count."""
+
+    def __init__(self, sizing: Optional[MessageSizing] = None) -> None:
+        self.sizing = sizing or MessageSizing()
+
+    def make(
+        self,
+        msg_type: MessageType,
+        src: int,
+        dst: int,
+        line_address: int,
+        transaction_id: Optional[int] = None,
+    ) -> Message:
+        """Create a message of *msg_type* from *src* to *dst*."""
+        return Message(
+            msg_type=msg_type,
+            src=src,
+            dst=dst,
+            line_address=line_address,
+            size_bytes=self.sizing.size_of(msg_type),
+            flits=self.sizing.flits_of(msg_type),
+            transaction_id=transaction_id,
+        )

@@ -1,0 +1,85 @@
+"""MOESI coherence states and transition helpers.
+
+The paper evaluates ALLARM on top of the AMD Hammer protocol, a
+broadcast-assisted MOESI protocol with a sparse directory (probe filter)
+acting as a snoop filter.  We model the stable states only; transient
+states are not needed because the simulator services each transaction
+atomically (transaction-level simulation).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class LineState(Enum):
+    """Stable MOESI state of a cache line in a private cache."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    # ------------------------------------------------------------------
+    @property
+    def is_valid(self) -> bool:
+        """True when the line holds usable data."""
+        return self is not LineState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when the line must be written back on eviction."""
+        return self in (LineState.MODIFIED, LineState.OWNED)
+
+    @property
+    def can_write(self) -> bool:
+        """True when a store may complete without a coherence transaction."""
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE)
+
+    @property
+    def can_read(self) -> bool:
+        """True when a load may complete without a coherence transaction."""
+        return self.is_valid
+
+    @property
+    def is_owner(self) -> bool:
+        """True when this cache is responsible for supplying data."""
+        return self in (LineState.MODIFIED, LineState.OWNED, LineState.EXCLUSIVE)
+
+    # ------------------------------------------------------------------
+    def after_local_write(self) -> "LineState":
+        """State after the local core writes a line it may write."""
+        if not self.can_write:
+            raise ValueError(f"cannot silently write a line in state {self}")
+        return LineState.MODIFIED
+
+    def after_remote_read(self) -> "LineState":
+        """State after a remote core reads this line (owner keeps data).
+
+        Under MOESI the owner downgrades M/E to O/S and continues to supply
+        data; a shared copy simply stays shared.
+        """
+        if self is LineState.MODIFIED:
+            return LineState.OWNED
+        if self is LineState.EXCLUSIVE:
+            return LineState.SHARED
+        if self in (LineState.OWNED, LineState.SHARED):
+            return self
+        raise ValueError(f"remote read of a line in state {self}")
+
+    def after_remote_write(self) -> "LineState":
+        """State after a remote core gains exclusive ownership."""
+        return LineState.INVALID
+
+
+def fill_state(is_write: bool, had_other_sharers: bool) -> LineState:
+    """State in which a requester installs a newly fetched line.
+
+    A write always installs in MODIFIED.  A read installs in EXCLUSIVE when
+    no other cache holds the line (enabling later silent upgrade), and in
+    SHARED otherwise.
+    """
+    if is_write:
+        return LineState.MODIFIED
+    return LineState.SHARED if had_other_sharers else LineState.EXCLUSIVE

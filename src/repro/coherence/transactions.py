@@ -1,0 +1,105 @@
+"""Transaction records produced by the directory protocol engine.
+
+Each L2 miss becomes one :class:`Transaction`.  The protocol engine
+resolves it atomically (transaction-level simulation) and fills in the
+timing breakdown, the list of messages exchanged, and bookkeeping flags
+that the evaluation figures need (probe-filter hit/miss, whether an entry
+was allocated, whether the ALLARM local probe was on the critical path,
+and so on).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List
+
+from repro.coherence.messages import Message
+
+
+class RequestKind(Enum):
+    """What the requesting core is trying to do with the line."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        """True for store / read-for-ownership requests."""
+        return self is RequestKind.WRITE
+
+
+class DataSource(Enum):
+    """Where the requested line's data ultimately came from."""
+
+    MEMORY = "memory"
+    OWNER_CACHE = "owner"
+    LOCAL_CACHE = "local"
+    NONE = "none"
+
+
+_transaction_ids = itertools.count()
+
+
+@dataclass
+class Transaction:
+    """One coherence transaction from request to data return.
+
+    Attributes
+    ----------
+    requester:
+        Node issuing the request (the core whose L2 missed).
+    home:
+        Node whose directory / memory controller owns the address.
+    latency_ns:
+        End-to-end latency charged to the requesting core.
+    probe_filter_hit:
+        Whether the home directory found an entry for the line.
+    allocated_entry:
+        Whether servicing this request allocated a new probe-filter entry.
+    caused_eviction:
+        Whether that allocation evicted another probe-filter entry.
+    local_probe_sent:
+        Whether the ALLARM local-state probe was issued.
+    local_probe_hidden:
+        Whether that probe was off the critical path (overlapped with the
+        DRAM access) — the quantity plotted in Figure 3g.
+    """
+
+    requester: int
+    home: int
+    line_address: int
+    kind: RequestKind
+    txn_id: int = field(default_factory=lambda: next(_transaction_ids))
+
+    latency_ns: float = 0.0
+    data_source: DataSource = DataSource.NONE
+    probe_filter_hit: bool = False
+    allocated_entry: bool = False
+    caused_eviction: bool = False
+    local_probe_sent: bool = False
+    local_probe_hidden: bool = False
+    local_probe_found_line: bool = False
+    invalidations_sent: int = 0
+    messages: List[Message] = field(default_factory=list)
+
+    @property
+    def is_local_request(self) -> bool:
+        """True when the requester is the home node's own core."""
+        return self.requester == self.home
+
+    @property
+    def network_bytes(self) -> int:
+        """Total bytes this transaction injected into the mesh."""
+        return sum(m.size_bytes for m in self.messages if not m.is_local)
+
+    @property
+    def message_count(self) -> int:
+        """Total number of messages (local ones included)."""
+        return len(self.messages)
+
+    def add_message(self, message: Message) -> None:
+        """Attach a message to this transaction's record."""
+        message.transaction_id = self.txn_id
+        self.messages.append(message)

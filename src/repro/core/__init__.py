@@ -1,0 +1,39 @@
+"""The paper's contribution: probe filter, allocation policies, directory."""
+
+from repro.core.directory import (
+    DirectoryController,
+    DirectoryStats,
+    DirectoryTimings,
+    ServiceOutcome,
+)
+from repro.core.policy import (
+    AllarmPolicy,
+    AllocationPolicy,
+    BaselinePolicy,
+    PhysicalRange,
+    available_policies,
+    make_policy,
+)
+from repro.core.probe_filter import (
+    AllocationOutcome,
+    ProbeFilter,
+    ProbeFilterEntry,
+    ProbeFilterStats,
+)
+
+__all__ = [
+    "DirectoryController",
+    "DirectoryStats",
+    "DirectoryTimings",
+    "ServiceOutcome",
+    "AllocationPolicy",
+    "BaselinePolicy",
+    "AllarmPolicy",
+    "PhysicalRange",
+    "make_policy",
+    "available_policies",
+    "ProbeFilter",
+    "ProbeFilterEntry",
+    "ProbeFilterStats",
+    "AllocationOutcome",
+]

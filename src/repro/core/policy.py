@@ -1,0 +1,167 @@
+"""Probe-filter allocation policies: the paper's contribution.
+
+The directory controller consults an :class:`AllocationPolicy` whenever a
+request misses in the probe filter, to decide whether servicing the
+request should allocate an entry.
+
+* :class:`BaselinePolicy` always allocates — the conventional sparse
+  directory the paper compares against.
+* :class:`AllarmPolicy` allocates **only on a remote miss** (ALLocAte on
+  Remote Miss): requests from the home node's own core are serviced
+  without creating directory state, because under first-touch NUMA
+  allocation such requests are overwhelmingly to thread-private data.
+  The policy can further be restricted to configured physical-address
+  ranges, modelling the boot-time range registers (MTRR-like) described
+  in Section II-C, and disabled per directory to avoid slowdowns on
+  capacity-bound workloads such as fluidanimate (Section III-A.1).
+
+The detection scheme is *stateless*: the decision uses only the
+requester's node, the home node and the address — no tracking structures,
+page-table bits or OS changes, which is the property the paper emphasises
+over prior work (Cuesta et al., Kim et al., Das et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PhysicalRange:
+    """A half-open physical address range ``[start, end)``."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"invalid physical range [{self.start:#x}, {self.end:#x})"
+            )
+
+    def contains(self, address: int) -> bool:
+        """True when *address* falls inside the range."""
+        return self.start <= address < self.end
+
+
+class AllocationPolicy:
+    """Decides whether a probe-filter miss allocates a directory entry."""
+
+    #: Short name used in reports and experiment labels.
+    name = "base"
+
+    def should_allocate(
+        self, requester_node: int, home_node: int, line_address: int
+    ) -> bool:
+        """Return ``True`` when a probe-filter entry must be allocated."""
+        raise NotImplementedError
+
+    def needs_local_probe(
+        self, requester_node: int, home_node: int, line_address: int
+    ) -> bool:
+        """Return ``True`` when the home node's local cache must be probed.
+
+        Only ALLARM needs this: a remote miss with no probe-filter entry
+        cannot trust the directory to know whether the local core caches
+        the line, because local fills never allocated an entry.
+        """
+        return False
+
+    def describe(self) -> str:
+        """One-line human-readable description for reports."""
+        return self.name
+
+
+class BaselinePolicy(AllocationPolicy):
+    """Conventional sparse directory: every tracked miss allocates."""
+
+    name = "baseline"
+
+    def should_allocate(
+        self, requester_node: int, home_node: int, line_address: int
+    ) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "baseline (allocate on every miss)"
+
+
+class AllarmPolicy(AllocationPolicy):
+    """ALLocAte on Remote Miss.
+
+    Parameters
+    ----------
+    active_ranges:
+        Physical ranges on which ALLARM is active.  ``None`` (the default)
+        means ALLARM applies to the whole physical address space.
+        Addresses outside every active range fall back to baseline
+        behaviour, modelling the per-range enablement of Section II-C.
+    enabled:
+        Per-directory enable switch (Section III-A.1 suggests disabling
+        ALLARM for capacity-bound workloads).
+    """
+
+    name = "allarm"
+
+    def __init__(
+        self,
+        active_ranges: Optional[Sequence[PhysicalRange]] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.active_ranges: Optional[Tuple[PhysicalRange, ...]] = (
+            tuple(active_ranges) if active_ranges is not None else None
+        )
+        self.enabled = enabled
+
+    # ------------------------------------------------------------------
+    def is_active_for(self, line_address: int) -> bool:
+        """True when ALLARM governs this address."""
+        if not self.enabled:
+            return False
+        if self.active_ranges is None:
+            return True
+        return any(r.contains(line_address) for r in self.active_ranges)
+
+    def should_allocate(
+        self, requester_node: int, home_node: int, line_address: int
+    ) -> bool:
+        if not self.is_active_for(line_address):
+            return True
+        return requester_node != home_node
+
+    def needs_local_probe(
+        self, requester_node: int, home_node: int, line_address: int
+    ) -> bool:
+        if not self.is_active_for(line_address):
+            return False
+        return requester_node != home_node
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "allarm (disabled; behaves as baseline)"
+        if self.active_ranges is None:
+            return "allarm (allocate on remote miss, all addresses)"
+        return f"allarm (active on {len(self.active_ranges)} physical range(s))"
+
+
+def make_policy(
+    name: str,
+    active_ranges: Optional[Sequence[PhysicalRange]] = None,
+    enabled: bool = True,
+) -> AllocationPolicy:
+    """Build an allocation policy by name (``"baseline"`` or ``"allarm"``)."""
+    if name == "baseline":
+        return BaselinePolicy()
+    if name == "allarm":
+        return AllarmPolicy(active_ranges=active_ranges, enabled=enabled)
+    raise ConfigurationError(
+        f"unknown allocation policy {name!r}; expected 'baseline' or 'allarm'"
+    )
+
+
+def available_policies() -> List[str]:
+    """Names accepted by :func:`make_policy`."""
+    return ["baseline", "allarm"]

@@ -1,0 +1,16 @@
+"""McPAT-style energy and area models for the NoC and probe filter."""
+
+from repro.energy.area import PAPER_AREA_TABLE, ProbeFilterAreaModel
+from repro.energy.directory_energy import ProbeFilterEnergyModel
+from repro.energy.mcpat import EnergyReport, McPatModel, NormalizedEnergy
+from repro.energy.noc_energy import NocEnergyModel
+
+__all__ = [
+    "NocEnergyModel",
+    "ProbeFilterEnergyModel",
+    "ProbeFilterAreaModel",
+    "PAPER_AREA_TABLE",
+    "McPatModel",
+    "EnergyReport",
+    "NormalizedEnergy",
+]

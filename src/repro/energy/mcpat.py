@@ -1,0 +1,89 @@
+"""Combined McPAT-style energy report for a simulation run.
+
+Bundles the NoC and probe-filter dynamic-energy models (and the area
+model) into a single report object, mirroring how the paper uses McPAT:
+feed it the event counts of a run, get back component energies, and
+normalise ALLARM against the baseline (Figure 3f and the area table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.energy.area import ProbeFilterAreaModel
+from repro.energy.directory_energy import ProbeFilterEnergyModel
+from repro.energy.noc_energy import NocEnergyModel
+from repro.stats.snapshot import MachineSnapshot
+
+
+@dataclass
+class EnergyReport:
+    """Dynamic energy of one run, by component (picojoules)."""
+
+    noc_pj: float
+    probe_filter_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Total dynamic energy across modelled components."""
+        return self.noc_pj + self.probe_filter_pj
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the component energies as a plain dictionary."""
+        return {
+            "noc_pj": self.noc_pj,
+            "probe_filter_pj": self.probe_filter_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+@dataclass
+class NormalizedEnergy:
+    """Figure 3f: experiment energy normalised to the baseline."""
+
+    noc: float
+    probe_filter: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the normalised values as a plain dictionary."""
+        return {"noc": self.noc, "probe_filter": self.probe_filter}
+
+
+@dataclass
+class McPatModel:
+    """Aggregated power/area models, analogous to the paper's McPAT use."""
+
+    noc: NocEnergyModel = field(default_factory=NocEnergyModel)
+    probe_filter: ProbeFilterEnergyModel = field(default_factory=ProbeFilterEnergyModel)
+    area: ProbeFilterAreaModel = field(default_factory=ProbeFilterAreaModel)
+
+    # ------------------------------------------------------------------
+    def report(
+        self, snapshot: MachineSnapshot, probe_filter_coverage: int
+    ) -> EnergyReport:
+        """Compute the dynamic-energy report for one finished run."""
+        return EnergyReport(
+            noc_pj=self.noc.energy_of(snapshot),
+            probe_filter_pj=self.probe_filter.energy_of(
+                snapshot, probe_filter_coverage
+            ),
+        )
+
+    def normalized(
+        self,
+        baseline: MachineSnapshot,
+        experiment: MachineSnapshot,
+        probe_filter_coverage: int,
+    ) -> NormalizedEnergy:
+        """Normalise the experiment's energy to the baseline (Figure 3f)."""
+        return NormalizedEnergy(
+            noc=self.noc.normalized(baseline, experiment),
+            probe_filter=self.probe_filter.normalized(
+                baseline, experiment, probe_filter_coverage
+            ),
+        )
+
+    def area_table(self):
+        """The probe-filter area table of Section III-B."""
+        return self.area.table()

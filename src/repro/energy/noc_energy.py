@@ -1,0 +1,58 @@
+"""Dynamic energy model for the on-chip network.
+
+The paper converts network activity into dynamic energy with McPAT at a
+32 nm process and reports the *relative* energy of ALLARM against the
+baseline (Figure 3f, "NoC" bars).  We use the same structure McPAT does at
+this granularity: every flit consumes a fixed amount of energy per router
+it traverses and per link it crosses, so total NoC dynamic energy is
+proportional to flit-hops, and the normalised result depends only on the
+relative traffic reduction.  The default per-flit constants are
+representative 32 nm values; their absolute magnitude cancels in every
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.stats.snapshot import MachineSnapshot
+
+
+@dataclass(frozen=True)
+class NocEnergyModel:
+    """Per-event energy constants for routers and links (32 nm defaults)."""
+
+    router_energy_pj_per_flit: float = 0.98
+    link_energy_pj_per_flit_hop: float = 0.64
+    #: Static leakage per nanosecond of run time (only used by the
+    #: total-energy ablation, never by the paper's dynamic-energy figures).
+    leakage_pw_per_router: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.router_energy_pj_per_flit < 0 or self.link_energy_pj_per_flit_hop < 0:
+            raise ConfigurationError("energy constants cannot be negative")
+
+    # ------------------------------------------------------------------
+    def dynamic_energy_pj(self, flit_hops: int) -> float:
+        """Dynamic energy (pJ) for a given number of flit-hops.
+
+        Each flit-hop includes one router traversal and one link traversal.
+        """
+        if flit_hops < 0:
+            raise ConfigurationError("flit_hops cannot be negative")
+        per_hop = self.router_energy_pj_per_flit + self.link_energy_pj_per_flit_hop
+        return flit_hops * per_hop
+
+    def energy_of(self, snapshot: MachineSnapshot) -> float:
+        """Dynamic NoC energy (pJ) of a finished run."""
+        return self.dynamic_energy_pj(snapshot.network_flit_hops)
+
+    def normalized(
+        self, baseline: MachineSnapshot, experiment: MachineSnapshot
+    ) -> float:
+        """Experiment NoC energy normalised to the baseline (Figure 3f)."""
+        base = self.energy_of(baseline)
+        if base == 0:
+            return 1.0
+        return self.energy_of(experiment) / base

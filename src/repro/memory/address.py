@@ -1,0 +1,202 @@
+"""Address arithmetic: cache lines, pages and NUMA home-node mapping.
+
+The simulated machine uses a flat physical address space partitioned into
+equal, contiguous per-node regions (Table I of the paper: 2 GB of DRAM
+divided into sixteen 128 MB blocks, each attached to one directory /
+memory controller).  The *home node* of a physical address is therefore a
+pure function of the address, implemented by :class:`AddressMap`.
+
+Virtual addresses are translated to physical addresses by the NUMA
+allocator (:mod:`repro.numa`); everything below the translation layer
+(caches, directories, DRAM) operates on physical addresses only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError, ConfigurationError
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two, else raise."""
+    if not is_power_of_two(value):
+        raise ConfigurationError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Decomposes physical addresses into lines, pages and home nodes.
+
+    Parameters
+    ----------
+    line_size:
+        Cache line size in bytes (64 in the paper).
+    page_size:
+        OS page size in bytes (4096).
+    node_count:
+        Number of nodes (directories / memory controllers).
+    memory_bytes:
+        Total physical memory; must divide evenly across nodes.
+    """
+
+    line_size: int = 64
+    page_size: int = 4096
+    node_count: int = 16
+    memory_bytes: int = 2 * 1024 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.line_size):
+            raise ConfigurationError("line_size must be a power of two")
+        if not is_power_of_two(self.page_size):
+            raise ConfigurationError("page_size must be a power of two")
+        if self.page_size < self.line_size:
+            raise ConfigurationError("page_size must be >= line_size")
+        if self.node_count <= 0:
+            raise ConfigurationError("node_count must be positive")
+        if self.memory_bytes % self.node_count != 0:
+            raise ConfigurationError(
+                "memory_bytes must divide evenly across nodes"
+            )
+        if self.bytes_per_node % self.page_size != 0:
+            raise ConfigurationError(
+                "per-node memory must be a whole number of pages"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_node(self) -> int:
+        """Physical memory attached to each node, in bytes."""
+        return self.memory_bytes // self.node_count
+
+    @property
+    def pages_per_node(self) -> int:
+        """Number of physical page frames owned by each node."""
+        return self.bytes_per_node // self.page_size
+
+    @property
+    def lines_per_page(self) -> int:
+        """Number of cache lines contained in one page."""
+        return self.page_size // self.line_size
+
+    @property
+    def total_frames(self) -> int:
+        """Total number of physical page frames in the machine."""
+        return self.memory_bytes // self.page_size
+
+    # ------------------------------------------------------------------
+    # Line / page decomposition
+    # ------------------------------------------------------------------
+    def line_address(self, address: int) -> int:
+        """Return the line-aligned address containing *address*."""
+        self._check(address)
+        return address & ~(self.line_size - 1)
+
+    def line_number(self, address: int) -> int:
+        """Return the global line index of *address*."""
+        self._check(address)
+        return address // self.line_size
+
+    def line_offset(self, address: int) -> int:
+        """Return the byte offset of *address* within its line."""
+        self._check(address)
+        return address & (self.line_size - 1)
+
+    def page_address(self, address: int) -> int:
+        """Return the page-aligned address containing *address*."""
+        self._check(address)
+        return address & ~(self.page_size - 1)
+
+    def page_number(self, address: int) -> int:
+        """Return the page frame number (physical) of *address*."""
+        self._check(address)
+        return address // self.page_size
+
+    def page_offset(self, address: int) -> int:
+        """Return the byte offset of *address* within its page."""
+        self._check(address)
+        return address & (self.page_size - 1)
+
+    def frame_base(self, frame_number: int) -> int:
+        """Return the base physical address of a page frame."""
+        if frame_number < 0 or frame_number >= self.total_frames:
+            raise AddressError(f"frame {frame_number} out of range")
+        return frame_number * self.page_size
+
+    # ------------------------------------------------------------------
+    # Home-node mapping
+    # ------------------------------------------------------------------
+    def home_node(self, address: int) -> int:
+        """Return the node whose memory controller owns *address*.
+
+        Physical memory is striped in large contiguous blocks: node ``n``
+        owns addresses ``[n * bytes_per_node, (n + 1) * bytes_per_node)``.
+        """
+        self._check(address)
+        return address // self.bytes_per_node
+
+    def home_node_of_frame(self, frame_number: int) -> int:
+        """Return the home node of a physical page frame."""
+        return self.home_node(self.frame_base(frame_number))
+
+    def node_frame_range(self, node: int) -> range:
+        """Return the range of frame numbers owned by *node*."""
+        if node < 0 or node >= self.node_count:
+            raise AddressError(f"node {node} out of range")
+        frames = self.pages_per_node
+        return range(node * frames, (node + 1) * frames)
+
+    def node_address_range(self, node: int) -> range:
+        """Return the physical address range (as ``range``) owned by *node*."""
+        if node < 0 or node >= self.node_count:
+            raise AddressError(f"node {node} out of range")
+        base = node * self.bytes_per_node
+        return range(base, base + self.bytes_per_node)
+
+    # ------------------------------------------------------------------
+    def _check(self, address: int) -> None:
+        if address < 0 or address >= self.memory_bytes:
+            raise AddressError(
+                f"physical address {address:#x} outside memory of "
+                f"{self.memory_bytes:#x} bytes"
+            )
+
+
+@dataclass(frozen=True)
+class VirtualAddressSpace:
+    """Virtual address-space geometry shared by all simulated processes.
+
+    The virtual layout does not affect coherence behaviour; it exists so
+    that workload generators can hand out non-overlapping virtual regions
+    for private heaps, shared heaps and stacks, and so that the page table
+    has a well-defined key space.
+    """
+
+    page_size: int = 4096
+    size_bytes: int = 1 << 40
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.page_size):
+            raise ConfigurationError("page_size must be a power of two")
+        if self.size_bytes % self.page_size != 0:
+            raise ConfigurationError("size must be a whole number of pages")
+
+    def page_number(self, vaddr: int) -> int:
+        """Return the virtual page number of *vaddr*."""
+        if vaddr < 0 or vaddr >= self.size_bytes:
+            raise AddressError(f"virtual address {vaddr:#x} out of range")
+        return vaddr // self.page_size
+
+    def page_offset(self, vaddr: int) -> int:
+        """Return the byte offset of *vaddr* within its virtual page."""
+        if vaddr < 0 or vaddr >= self.size_bytes:
+            raise AddressError(f"virtual address {vaddr:#x} out of range")
+        return vaddr & (self.page_size - 1)

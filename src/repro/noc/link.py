@@ -1,0 +1,82 @@
+"""Link model: latency and serialization for one mesh hop.
+
+Table I gives 8 GB/s of link bandwidth, 10 ns link latency and 4-byte
+flits.  A message of ``n`` flits occupying a link therefore needs the
+propagation latency once plus one serialization interval per flit.  The
+link also accumulates the byte and flit counts used for traffic and
+utilisation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LinkStats:
+    """Traffic counters for a single directed link."""
+
+    messages: int = 0
+    flits: int = 0
+    bytes: int = 0
+    busy_ns: float = 0.0
+
+
+@dataclass
+class Link:
+    """One directed link between two adjacent routers.
+
+    Parameters
+    ----------
+    src, dst:
+        The routers this link connects.
+    bandwidth_bytes_per_ns:
+        Link bandwidth; 8 GB/s equals 8 bytes per nanosecond.
+    latency_ns:
+        Propagation latency of the link (wire + traversal).
+    flit_bytes:
+        Flit width used to compute serialization latency.
+    """
+
+    src: int
+    dst: int
+    bandwidth_bytes_per_ns: float = 8.0
+    latency_ns: float = 10.0
+    flit_bytes: int = 4
+    stats: LinkStats = field(default_factory=LinkStats)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_ns <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        if self.latency_ns < 0:
+            raise ConfigurationError("link latency cannot be negative")
+        if self.flit_bytes <= 0:
+            raise ConfigurationError("flit size must be positive")
+
+    # ------------------------------------------------------------------
+    def serialization_ns(self, size_bytes: int) -> float:
+        """Time to push *size_bytes* through the link at full bandwidth."""
+        if size_bytes < 0:
+            raise ConfigurationError("message size cannot be negative")
+        return size_bytes / self.bandwidth_bytes_per_ns
+
+    def traversal_ns(self, size_bytes: int) -> float:
+        """Total time for a message of *size_bytes* to cross this link."""
+        return self.latency_ns + self.serialization_ns(size_bytes)
+
+    def record(self, size_bytes: int, flits: int) -> float:
+        """Account for one message crossing the link; return traversal time."""
+        elapsed = self.traversal_ns(size_bytes)
+        self.stats.messages += 1
+        self.stats.flits += flits
+        self.stats.bytes += size_bytes
+        self.stats.busy_ns += self.serialization_ns(size_bytes)
+        return elapsed
+
+    def utilisation(self, elapsed_ns: float) -> float:
+        """Fraction of *elapsed_ns* this link spent serializing flits."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_ns / elapsed_ns)

@@ -1,0 +1,194 @@
+"""Transaction-level on-chip network model.
+
+The network delivers coherence messages between nodes of the mesh, charges
+them a latency (router pipeline + link traversal per hop) and accumulates
+the traffic statistics the paper reports: bytes injected (Figures 3c, 4c,
+4f), flit-hops (which drive NoC dynamic energy, Figure 3f) and message
+counts by type (Figure 3d's messages-per-eviction).
+
+Messages whose source and destination are the same node never enter the
+mesh: they are delivered with zero latency contribution from the network
+and zero traffic, matching the paper's claim that thread-local accesses
+under ALLARM create no coherence network traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.coherence.messages import Message, MessageType
+from repro.errors import NetworkError
+from repro.noc.link import Link
+from repro.noc.router import Router
+from repro.noc.routing import RoutingAlgorithm, make_routing
+from repro.noc.topology import MeshTopology
+
+
+@dataclass
+class NetworkStats:
+    """Machine-wide network traffic counters."""
+
+    messages_sent: int = 0
+    local_messages: int = 0
+    bytes_injected: int = 0
+    flit_hops: int = 0
+    byte_hops: int = 0
+    messages_by_type: Dict[str, int] = field(default_factory=dict)
+    bytes_by_type: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: Message, hops: int) -> None:
+        """Accumulate one delivered message that travelled *hops* links."""
+        name = message.msg_type.value
+        self.messages_by_type[name] = self.messages_by_type.get(name, 0) + 1
+        if message.is_local or hops == 0:
+            self.local_messages += 1
+            return
+        self.messages_sent += 1
+        self.bytes_injected += message.size_bytes
+        self.flit_hops += message.flits * hops
+        self.byte_hops += message.size_bytes * hops
+        self.bytes_by_type[name] = (
+            self.bytes_by_type.get(name, 0) + message.size_bytes
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the aggregate counters into a plain dictionary."""
+        return {
+            "messages_sent": self.messages_sent,
+            "local_messages": self.local_messages,
+            "bytes_injected": self.bytes_injected,
+            "flit_hops": self.flit_hops,
+            "byte_hops": self.byte_hops,
+        }
+
+
+@dataclass
+class DeliveryResult:
+    """Latency and route of one delivered message."""
+
+    latency_ns: float
+    hops: int
+    path: List[int]
+
+
+class Network:
+    """Mesh interconnect connecting every node's router.
+
+    Parameters
+    ----------
+    topology:
+        The mesh geometry (defaults to the paper's 4x4 mesh).
+    routing:
+        Routing algorithm name, ``"xy"`` by default.
+    link_bandwidth_bytes_per_ns, link_latency_ns, flit_bytes:
+        Link parameters from Table I (8 GB/s, 10 ns, 4 B flits).
+    router_latency_ns:
+        Per-hop router pipeline latency.
+    """
+
+    def __init__(
+        self,
+        topology: Optional[MeshTopology] = None,
+        routing: str = "xy",
+        link_bandwidth_bytes_per_ns: float = 8.0,
+        link_latency_ns: float = 10.0,
+        flit_bytes: int = 4,
+        router_latency_ns: float = 1.5,
+    ) -> None:
+        self.topology = topology or MeshTopology(4, 4)
+        self.routing: RoutingAlgorithm = make_routing(routing, self.topology)
+        self.stats = NetworkStats()
+        self.routers: Dict[int, Router] = {
+            node: Router(node, router_latency_ns) for node in self.topology.nodes()
+        }
+        self.links: Dict[Tuple[int, int], Link] = {
+            (src, dst): Link(
+                src,
+                dst,
+                bandwidth_bytes_per_ns=link_bandwidth_bytes_per_ns,
+                latency_ns=link_latency_ns,
+                flit_bytes=flit_bytes,
+            )
+            for src, dst in self.topology.links()
+        }
+        # Routes are deterministic, so cache them per (src, dst) pair; the
+        # simulator delivers millions of messages over the same few pairs.
+        self._route_cache: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of nodes attached to the network."""
+        return self.topology.node_count
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+        return self.topology.hop_distance(src, dst)
+
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> DeliveryResult:
+        """Deliver *message*, returning its latency and route.
+
+        Local (same-node) messages bypass the mesh entirely.
+        """
+        self._validate_endpoints(message)
+        if message.src == message.dst:
+            self.stats.record(message, hops=0)
+            return DeliveryResult(latency_ns=0.0, hops=0, path=[message.src])
+
+        key = (message.src, message.dst)
+        path = self._route_cache.get(key)
+        if path is None:
+            path = self.routing.route(message.src, message.dst)
+            self._route_cache[key] = path
+        hops = len(path) - 1
+        latency = 0.0
+        self.routers[message.src].inject()
+        for i in range(hops):
+            src, dst = path[i], path[i + 1]
+            link = self.links.get((src, dst))
+            if link is None:
+                raise NetworkError(f"no link between adjacent nodes {src} and {dst}")
+            latency += self.routers[src].forward(message.size_bytes, message.flits)
+            latency += link.record(message.size_bytes, message.flits)
+        self.routers[message.dst].eject()
+        self.stats.record(message, hops=hops)
+        return DeliveryResult(latency_ns=latency, hops=hops, path=path)
+
+    def latency_estimate(self, src: int, dst: int, size_bytes: int) -> float:
+        """Estimate delivery latency without recording any traffic.
+
+        Used by the directory controller for critical-path reasoning
+        (e.g. deciding whether the ALLARM local probe was hidden).
+        """
+        if src == dst:
+            return 0.0
+        hops = self.hop_distance(src, dst)
+        sample_link = next(iter(self.links.values()))
+        per_hop = (
+            self.routers[src].pipeline_latency_ns
+            + sample_link.latency_ns
+            + sample_link.serialization_ns(size_bytes)
+        )
+        return hops * per_hop
+
+    # ------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        """Total bytes injected into the mesh (the Figure 3c metric)."""
+        return self.stats.bytes_injected
+
+    def total_flit_hops(self) -> int:
+        """Total flit-hops (drives the NoC dynamic-energy model)."""
+        return self.stats.flit_hops
+
+    def _validate_endpoints(self, message: Message) -> None:
+        for endpoint in (message.src, message.dst):
+            if endpoint < 0 or endpoint >= self.node_count:
+                raise NetworkError(
+                    f"message endpoint {endpoint} outside mesh of "
+                    f"{self.node_count} nodes"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network({self.topology!r}, routing={type(self.routing).__name__})"

@@ -1,0 +1,25 @@
+"""NUMA OS model: frame pools, page tables and placement policies."""
+
+from repro.numa.allocator import (
+    AllocatorStats,
+    FirstTouchPolicy,
+    FixedNodePolicy,
+    InterleavedPolicy,
+    NumaAllocator,
+    available_placement_policies,
+)
+from repro.numa.frames import FrameAllocator, FramePool
+from repro.numa.page_table import PageMapping, PageTable
+
+__all__ = [
+    "NumaAllocator",
+    "AllocatorStats",
+    "FirstTouchPolicy",
+    "InterleavedPolicy",
+    "FixedNodePolicy",
+    "available_placement_policies",
+    "FrameAllocator",
+    "FramePool",
+    "PageTable",
+    "PageMapping",
+]

@@ -1,0 +1,21 @@
+"""Statistics: per-run snapshots and baseline-normalised comparisons."""
+
+from repro.stats.compare import (
+    RunComparison,
+    geometric_mean,
+    safe_ratio,
+    summarize_ratio,
+    summarize_speedups,
+)
+from repro.stats.snapshot import MachineSnapshot, NodeSnapshot, collect
+
+__all__ = [
+    "MachineSnapshot",
+    "NodeSnapshot",
+    "collect",
+    "RunComparison",
+    "geometric_mean",
+    "safe_ratio",
+    "summarize_speedups",
+    "summarize_ratio",
+]

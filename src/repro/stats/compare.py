@@ -1,0 +1,99 @@
+"""Normalised comparisons between runs (ALLARM vs. baseline).
+
+Every figure in the paper's evaluation is a ratio against the baseline
+configuration: speedup, normalised evictions, normalised traffic,
+normalised L2 misses, normalised dynamic energy.  :class:`RunComparison`
+computes these ratios from two :class:`~repro.stats.snapshot.MachineSnapshot`
+objects, together with geometric-mean helpers for the "geomean" bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from repro.stats.snapshot import MachineSnapshot
+
+
+def safe_ratio(numerator: float, denominator: float, default: float = 1.0) -> float:
+    """Return ``numerator / denominator`` guarding against a zero denominator."""
+    if denominator == 0:
+        return default
+    return numerator / denominator
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+@dataclass
+class RunComparison:
+    """Ratios of an experimental run against its baseline run."""
+
+    baseline: MachineSnapshot
+    experiment: MachineSnapshot
+
+    # ------------------------------------------------------------------
+    @property
+    def speedup(self) -> float:
+        """Execution-time speedup of the experiment over the baseline (Fig. 3a)."""
+        return safe_ratio(
+            self.baseline.execution_time_ns, self.experiment.execution_time_ns
+        )
+
+    @property
+    def normalized_evictions(self) -> float:
+        """Probe-filter evictions normalised to the baseline (Fig. 3b)."""
+        return safe_ratio(
+            self.experiment.pf_evictions, self.baseline.pf_evictions, default=0.0
+        )
+
+    @property
+    def normalized_traffic(self) -> float:
+        """Network bytes normalised to the baseline (Fig. 3c)."""
+        return safe_ratio(
+            self.experiment.network_bytes, self.baseline.network_bytes, default=0.0
+        )
+
+    @property
+    def normalized_l2_misses(self) -> float:
+        """L2 misses normalised to the baseline (Fig. 3e)."""
+        return safe_ratio(
+            self.experiment.l2_misses, self.baseline.l2_misses, default=0.0
+        )
+
+    @property
+    def eviction_reduction(self) -> float:
+        """Fractional reduction in probe-filter evictions (paper: 46%)."""
+        return 1.0 - self.normalized_evictions
+
+    @property
+    def traffic_reduction(self) -> float:
+        """Fractional reduction in network traffic (paper: 12%)."""
+        return 1.0 - self.normalized_traffic
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the headline ratios as a plain dictionary."""
+        return {
+            "speedup": self.speedup,
+            "normalized_evictions": self.normalized_evictions,
+            "normalized_traffic": self.normalized_traffic,
+            "normalized_l2_misses": self.normalized_l2_misses,
+            "eviction_reduction": self.eviction_reduction,
+            "traffic_reduction": self.traffic_reduction,
+        }
+
+
+def summarize_speedups(comparisons: Iterable[RunComparison]) -> float:
+    """Geometric-mean speedup across benchmarks (the paper's geomean bar)."""
+    return geometric_mean([c.speedup for c in comparisons])
+
+
+def summarize_ratio(values: Iterable[float]) -> float:
+    """Geometric mean of a series of normalised ratios."""
+    return geometric_mean(list(values))

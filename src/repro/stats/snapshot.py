@@ -1,0 +1,191 @@
+"""Machine-wide statistics snapshots.
+
+After a simulation run, :func:`collect` walks the machine and gathers the
+exact quantities the paper's figures are built from: execution time,
+probe-filter evictions and allocations, network traffic, L2 misses,
+local/remote request mix, messages per probe-filter eviction, the ALLARM
+latency-hiding fraction, and the event counts the energy models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class NodeSnapshot:
+    """Per-node statistics extracted after a run."""
+
+    node_id: int
+    core_time_ns: float
+    memory_accesses: int
+    l1d_misses: int
+    l2_misses: int
+    l2_accesses: int
+    pf_evictions: int
+    pf_allocations: int
+    pf_occupancy: int
+    pf_reads: int
+    pf_writes: int
+    local_requests: int
+    remote_requests: int
+    local_probes_sent: int
+    local_probes_hidden: int
+    eviction_messages: int
+    invalidations_sent: int
+    dram_reads: int
+    dram_writes: int
+
+
+@dataclass
+class MachineSnapshot:
+    """Aggregate statistics for one simulation run."""
+
+    policy: str
+    execution_time_ns: float
+    total_accesses: int
+    l2_misses: int
+    l2_accesses: int
+    pf_evictions: int
+    pf_allocations: int
+    pf_reads: int
+    pf_writes: int
+    network_bytes: int
+    network_flit_hops: int
+    network_messages: int
+    local_requests: int
+    remote_requests: int
+    local_probes_sent: int
+    local_probes_hidden: int
+    eviction_messages: int
+    invalidations_sent: int
+    dram_reads: int
+    dram_writes: int
+    nodes: List[NodeSnapshot] = field(default_factory=list)
+    messages_by_type: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def directory_requests(self) -> int:
+        """Total requests seen by all directories."""
+        return self.local_requests + self.remote_requests
+
+    @property
+    def local_fraction(self) -> float:
+        """Fraction of directory requests from the local core (Figure 2)."""
+        if self.directory_requests == 0:
+            return 0.0
+        return self.local_requests / self.directory_requests
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of directory requests from remote cores (Figure 2)."""
+        if self.directory_requests == 0:
+            return 0.0
+        return self.remote_requests / self.directory_requests
+
+    @property
+    def messages_per_eviction(self) -> float:
+        """Average coherence messages caused by one PF eviction (Figure 3d)."""
+        if self.pf_evictions == 0:
+            return 0.0
+        return self.eviction_messages / self.pf_evictions
+
+    @property
+    def probe_hidden_fraction(self) -> float:
+        """Fraction of ALLARM local probes off the critical path (Figure 3g)."""
+        if self.local_probes_sent == 0:
+            return 0.0
+        return self.local_probes_hidden / self.local_probes_sent
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Machine-wide L2 miss rate."""
+        if self.l2_accesses == 0:
+            return 0.0
+        return self.l2_misses / self.l2_accesses
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the headline metrics into a plain dictionary."""
+        return {
+            "policy": self.policy,
+            "execution_time_ns": self.execution_time_ns,
+            "total_accesses": self.total_accesses,
+            "l2_misses": self.l2_misses,
+            "pf_evictions": self.pf_evictions,
+            "pf_allocations": self.pf_allocations,
+            "network_bytes": self.network_bytes,
+            "network_flit_hops": self.network_flit_hops,
+            "local_fraction": self.local_fraction,
+            "remote_fraction": self.remote_fraction,
+            "messages_per_eviction": self.messages_per_eviction,
+            "probe_hidden_fraction": self.probe_hidden_fraction,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+        }
+
+
+def collect(machine, policy_name: str = "") -> MachineSnapshot:
+    """Build a :class:`MachineSnapshot` from a finished machine.
+
+    Parameters
+    ----------
+    machine:
+        A :class:`repro.system.machine.Machine` after simulation.
+    policy_name:
+        Label recorded in the snapshot; defaults to the machine's
+        configured directory policy.
+    """
+    nodes: List[NodeSnapshot] = []
+    for node in machine.nodes:
+        directory = node.directory.stats
+        nodes.append(
+            NodeSnapshot(
+                node_id=node.node_id,
+                core_time_ns=node.clock.now_ns,
+                memory_accesses=node.clock.memory_accesses,
+                l1d_misses=node.caches.l1d.stats.misses,
+                l2_misses=node.caches.l2.stats.misses,
+                l2_accesses=node.caches.l2.stats.accesses,
+                pf_evictions=node.probe_filter.stats.evictions,
+                pf_allocations=node.probe_filter.stats.allocations,
+                pf_occupancy=node.probe_filter.occupancy(),
+                pf_reads=node.probe_filter.stats.reads,
+                pf_writes=node.probe_filter.stats.writes,
+                local_requests=directory.local_requests,
+                remote_requests=directory.remote_requests,
+                local_probes_sent=directory.local_probes_sent,
+                local_probes_hidden=directory.local_probes_hidden,
+                eviction_messages=directory.eviction_messages,
+                invalidations_sent=directory.invalidations_sent,
+                dram_reads=node.dram.stats.reads,
+                dram_writes=node.dram.stats.writes,
+            )
+        )
+
+    network = machine.network.stats
+    return MachineSnapshot(
+        policy=policy_name or machine.config.directory_policy,
+        execution_time_ns=machine.execution_time_ns(),
+        total_accesses=sum(n.memory_accesses for n in nodes),
+        l2_misses=sum(n.l2_misses for n in nodes),
+        l2_accesses=sum(n.l2_accesses for n in nodes),
+        pf_evictions=sum(n.pf_evictions for n in nodes),
+        pf_allocations=sum(n.pf_allocations for n in nodes),
+        pf_reads=sum(n.pf_reads for n in nodes),
+        pf_writes=sum(n.pf_writes for n in nodes),
+        network_bytes=network.bytes_injected,
+        network_flit_hops=network.flit_hops,
+        network_messages=network.messages_sent,
+        local_requests=sum(n.local_requests for n in nodes),
+        remote_requests=sum(n.remote_requests for n in nodes),
+        local_probes_sent=sum(n.local_probes_sent for n in nodes),
+        local_probes_hidden=sum(n.local_probes_hidden for n in nodes),
+        eviction_messages=sum(n.eviction_messages for n in nodes),
+        invalidations_sent=sum(n.invalidations_sent for n in nodes),
+        dram_reads=sum(n.dram_reads for n in nodes),
+        dram_writes=sum(n.dram_writes for n in nodes),
+        nodes=nodes,
+        messages_by_type=dict(network.messages_by_type),
+    )

@@ -1,0 +1,34 @@
+"""System assembly: configuration, nodes, machine and the simulator."""
+
+from repro.system.config import (
+    CoreConfig,
+    DirectoryConfig,
+    NetworkConfig,
+    OsConfig,
+    SystemConfig,
+    experiment_config,
+    paper_config,
+    scaled_config,
+)
+from repro.system.event_queue import EventQueue
+from repro.system.machine import Machine
+from repro.system.node import CoreClock, Node
+from repro.system.simulator import SimulationResult, Simulator, simulate
+
+__all__ = [
+    "SystemConfig",
+    "CoreConfig",
+    "DirectoryConfig",
+    "NetworkConfig",
+    "OsConfig",
+    "paper_config",
+    "scaled_config",
+    "experiment_config",
+    "Machine",
+    "Node",
+    "CoreClock",
+    "Simulator",
+    "SimulationResult",
+    "simulate",
+    "EventQueue",
+]

@@ -1,0 +1,130 @@
+"""Discrete event queue.
+
+The headline simulator is trace-driven and advances per-core clocks
+directly, but several auxiliary pieces — the thread-migration stress test,
+the detailed NoC ablation and a number of unit tests — need a conventional
+discrete-event scheduler.  :class:`EventQueue` provides a deterministic
+one: events at equal timestamps are delivered in insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_ns: float
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`, usable to cancel."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time_ns(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time_ns
+
+    @property
+    def label(self) -> str:
+        """Human-readable label attached at scheduling time."""
+        return self._event.label
+
+
+class EventQueue:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now_ns = 0.0
+        self.fired_events = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now_ns(self) -> float:
+        """Current simulated time."""
+        return self._now_ns
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(
+        self, delay_ns: float, callback: Callable[[], Any], label: str = ""
+    ) -> EventHandle:
+        """Schedule *callback* to run ``delay_ns`` after the current time."""
+        if delay_ns < 0:
+            raise SimulationError("cannot schedule an event in the past")
+        event = _ScheduledEvent(
+            time_ns=self._now_ns + delay_ns,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_at(
+        self, time_ns: float, callback: Callable[[], Any], label: str = ""
+    ) -> EventHandle:
+        """Schedule *callback* at an absolute simulated time."""
+        if time_ns < self._now_ns:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} ns; current time is {self._now_ns} ns"
+            )
+        return self.schedule(time_ns - self._now_ns, callback, label)
+
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Tuple[float, str]]:
+        """Fire the next non-cancelled event; return ``(time, label)``.
+
+        Returns ``None`` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now_ns = event.time_ns
+            event.callback()
+            self.fired_events += 1
+            return (event.time_ns, event.label)
+        return None
+
+    def run(self, until_ns: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run events until the queue drains, *until_ns*, or *max_events*.
+
+        Returns the number of events fired by this call.
+        """
+        fired = 0
+        while self._heap and fired < max_events:
+            next_event = self._heap[0]
+            if next_event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_ns is not None and next_event.time_ns > until_ns:
+                break
+            if self.step() is not None:
+                fired += 1
+        if fired >= max_events:
+            raise SimulationError(
+                f"event limit of {max_events} reached; possible event livelock"
+            )
+        return fired

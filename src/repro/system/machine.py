@@ -1,0 +1,232 @@
+"""Machine builder: wires nodes, network and the OS model together.
+
+:class:`Machine` owns every structural component of the simulated system
+(nodes, mesh network, NUMA allocator, message sizing) and provides the
+access-servicing entry points the trace-driven simulator drives.  It is
+deliberately independent of any particular workload: the simulator feeds
+it one memory access at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.hierarchy import CacheHierarchy, EvictedLine
+from repro.coherence.messages import MessageFactory, MessageSizing
+from repro.coherence.transactions import RequestKind, Transaction
+from repro.core.directory import DirectoryController, DirectoryTimings
+from repro.core.policy import AllarmPolicy, AllocationPolicy, BaselinePolicy
+from repro.core.probe_filter import ProbeFilter
+from repro.errors import ConfigurationError
+from repro.memory.controller import MemoryController
+from repro.memory.dram import Dram
+from repro.noc.network import Network
+from repro.noc.topology import MeshTopology
+from repro.numa.allocator import NumaAllocator
+from repro.system.config import SystemConfig
+from repro.system.node import Node
+
+
+class Machine:
+    """The full simulated system of Table I.
+
+    Parameters
+    ----------
+    config:
+        System description; see :class:`repro.system.config.SystemConfig`.
+    """
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.address_map = config.address_map()
+        self.sizing = MessageSizing(
+            control_bytes=config.network.control_message_bytes,
+            data_bytes=config.network.data_message_bytes,
+            flit_bytes=config.network.flit_bytes,
+        )
+        self.message_factory = MessageFactory(self.sizing)
+        self.network = Network(
+            topology=MeshTopology(config.network.mesh_width, config.network.mesh_height),
+            routing=config.network.routing,
+            link_bandwidth_bytes_per_ns=config.network.link_bandwidth_bytes_per_ns,
+            link_latency_ns=config.network.link_latency_ns,
+            flit_bytes=config.network.flit_bytes,
+            router_latency_ns=config.network.router_latency_ns,
+        )
+        self.allocator = NumaAllocator(
+            self.address_map,
+            policy=config.os.placement_policy,
+            frames_per_node=config.os.frames_per_node,
+        )
+        self.nodes: List[Node] = [
+            self._build_node(node_id) for node_id in range(config.node_count)
+        ]
+        self.transactions_serviced = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_node(self, node_id: int) -> Node:
+        cfg = self.config
+        caches = CacheHierarchy(
+            core_id=node_id,
+            l1i_size=cfg.core.l1i_size,
+            l1d_size=cfg.core.l1d_size,
+            l1_assoc=cfg.core.l1_associativity,
+            l2_size=cfg.core.l2_size,
+            l2_assoc=cfg.core.l2_associativity,
+            line_size=cfg.line_size,
+            replacement=cfg.core.replacement,
+            mshr_capacity=cfg.core.mshr_capacity,
+        )
+        probe_filter = ProbeFilter(
+            node_id=node_id,
+            coverage_bytes=cfg.directory.probe_filter_coverage,
+            associativity=cfg.directory.probe_filter_associativity,
+            line_size=cfg.line_size,
+            replacement=cfg.directory.probe_filter_replacement,
+        )
+        dram = Dram(
+            node_id=node_id,
+            access_latency_ns=cfg.directory.dram_latency_ns,
+            row_hit_latency_ns=cfg.directory.dram_row_hit_latency_ns,
+            line_size=cfg.line_size,
+        )
+        memory_controller = MemoryController(node_id, dram)
+        timings = DirectoryTimings(
+            directory_access_ns=cfg.directory.directory_access_latency_ns,
+            cache_access_ns=cfg.core.cache_access_latency_ns,
+            on_die_link_ns=cfg.directory.on_die_link_ns,
+        )
+        directory = DirectoryController(
+            node_id=node_id,
+            probe_filter=probe_filter,
+            memory_controller=memory_controller,
+            network=self.network,
+            cache_lookup=self.cache_of,
+            policy=self._build_policy(node_id),
+            message_factory=self.message_factory,
+            timings=timings,
+        )
+        return Node(
+            node_id=node_id,
+            caches=caches,
+            probe_filter=probe_filter,
+            dram=dram,
+            memory_controller=memory_controller,
+            directory=directory,
+        )
+
+    def _build_policy(self, node_id: int) -> AllocationPolicy:
+        if not self.config.uses_allarm:
+            return BaselinePolicy()
+        enabled = node_id not in self.config.allarm_disabled_nodes
+        return AllarmPolicy(
+            active_ranges=self.config.allarm_ranges, enabled=enabled
+        )
+
+    # ------------------------------------------------------------------
+    # Component access
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        """Return node *node_id*."""
+        if node_id < 0 or node_id >= len(self.nodes):
+            raise ConfigurationError(f"node {node_id} out of range")
+        return self.nodes[node_id]
+
+    def cache_of(self, node_id: int) -> CacheHierarchy:
+        """Return the cache hierarchy of *node_id* (directory callback)."""
+        return self.node(node_id).caches
+
+    def directory_of(self, node_id: int) -> DirectoryController:
+        """Return the directory controller of *node_id*."""
+        return self.node(node_id).directory
+
+    def home_directory(self, paddr: int) -> DirectoryController:
+        """Return the directory responsible for physical address *paddr*."""
+        return self.directory_of(self.address_map.home_node(paddr))
+
+    # ------------------------------------------------------------------
+    # Access servicing
+    # ------------------------------------------------------------------
+    def perform_access(
+        self,
+        core: int,
+        process_id: int,
+        vaddr: int,
+        is_write: bool,
+        is_instruction: bool = False,
+    ) -> float:
+        """Execute one memory access on *core*; return its latency in ns.
+
+        The access is translated (allocating its page on first touch),
+        looked up in the core's cache hierarchy, and on an L2 miss or
+        upgrade a coherence transaction is issued to the home directory.
+        Cache fills and any resulting L2 evictions (with their directory
+        notifications) are applied before returning.
+        """
+        node = self.node(core)
+        paddr = self.allocator.translate(process_id, core, vaddr)
+        line_paddr = self.address_map.line_address(paddr)
+        cache_latency = self.config.core.cache_access_latency_ns
+
+        result = node.caches.access(line_paddr, is_write, is_instruction)
+        node.clock.memory_accesses += 1
+        if result.is_hit:
+            return cache_latency
+
+        kind = RequestKind.WRITE if is_write else RequestKind.READ
+        home = self.home_directory(line_paddr)
+        outcome = home.service_request(core, line_paddr, kind)
+        self.transactions_serviced += 1
+
+        if result.needs_upgrade:
+            # The line is already resident; only its state changes.
+            node.caches.l2.set_state(line_paddr, outcome.fill_state)
+            for l1 in (node.caches.l1i, node.caches.l1d):
+                if l1.contains(line_paddr):
+                    l1.set_state(line_paddr, outcome.fill_state)
+        else:
+            evicted = node.caches.fill(
+                line_paddr, outcome.fill_state, is_instruction
+            )
+            self._handle_evictions(core, evicted)
+
+        return cache_latency + outcome.transaction.latency_ns
+
+    def _handle_evictions(self, core: int, evicted: List[EvictedLine]) -> None:
+        mode = self.config.directory.eviction_notification
+        for victim in evicted:
+            home = self.home_directory(victim.line_address)
+            if mode == "owned":
+                notify = victim.owned or victim.dirty
+            elif mode == "dirty":
+                notify = victim.dirty
+            else:
+                notify = False
+            if notify:
+                home.handle_cache_eviction(core, victim.line_address, victim.state)
+            elif victim.dirty:
+                # Even without a directory notification, dirty data must
+                # reach memory.
+                home.memory_controller.writeback_line(victim.line_address)
+
+    # ------------------------------------------------------------------
+    # Aggregate queries used by the statistics layer
+    # ------------------------------------------------------------------
+    def total_probe_filter_evictions(self) -> int:
+        """Sum of probe-filter evictions across all directories (Fig. 3b)."""
+        return sum(n.probe_filter.stats.evictions for n in self.nodes)
+
+    def total_l2_misses(self) -> int:
+        """Sum of L2 misses across all cores (Fig. 3e)."""
+        return sum(n.caches.l2.stats.misses for n in self.nodes)
+
+    def execution_time_ns(self) -> float:
+        """Parallel execution time: the slowest core's clock."""
+        return max((n.clock.now_ns for n in self.nodes), default=0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine(nodes={len(self.nodes)}, policy={self.config.directory_policy})"
+        )

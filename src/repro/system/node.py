@@ -1,0 +1,58 @@
+"""A single node of the machine: core, caches, directory, memory.
+
+Figure 1 of the paper shows the node composition: a CPU with its private
+caches, a router on the mesh, and a memory controller with an attached
+probe filter (sparse directory) and DRAM.  :class:`Node` bundles these
+components; the :class:`~repro.system.machine.Machine` wires sixteen of
+them onto the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.directory import DirectoryController
+from repro.core.probe_filter import ProbeFilter
+from repro.memory.controller import MemoryController
+from repro.memory.dram import Dram
+
+
+@dataclass
+class CoreClock:
+    """Per-core simulated time and instruction accounting."""
+
+    now_ns: float = 0.0
+    instructions: int = 0
+    memory_accesses: int = 0
+    stall_ns: float = 0.0
+
+    def advance(self, delta_ns: float) -> None:
+        """Move this core's local time forward by *delta_ns*."""
+        self.now_ns += delta_ns
+
+    def stall(self, delta_ns: float) -> None:
+        """Advance time attributing the delay to memory stalls."""
+        self.now_ns += delta_ns
+        self.stall_ns += delta_ns
+
+
+@dataclass
+class Node:
+    """One affinity domain: core + caches + directory + memory."""
+
+    node_id: int
+    caches: CacheHierarchy
+    probe_filter: ProbeFilter
+    dram: Dram
+    memory_controller: MemoryController
+    directory: DirectoryController
+    clock: CoreClock = field(default_factory=CoreClock)
+
+    @property
+    def core_id(self) -> int:
+        """The core hosted on this node (one core per node in the paper)."""
+        return self.node_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id}, policy={self.directory.policy.name})"

@@ -1,0 +1,12 @@
+"""Trace format: access records and file I/O."""
+
+from repro.trace.io import count_records, read_trace, write_trace
+from repro.trace.record import AccessRecord, AccessType
+
+__all__ = [
+    "AccessRecord",
+    "AccessType",
+    "read_trace",
+    "write_trace",
+    "count_records",
+]

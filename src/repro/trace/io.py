@@ -1,0 +1,55 @@
+"""Trace file reader and writer.
+
+Traces are stored as plain text, one access per line, in the format
+``<process> <core> <R|W|I> <hex address>`` with ``#`` comment lines.  The
+format is deliberately simple so that traces from other tools (or from the
+real SPLASH2/Parsec binaries run under a binary-instrumentation tool) can
+be converted with a one-line awk script and replayed through the same
+simulator.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.errors import WorkloadError
+from repro.trace.record import AccessRecord
+
+PathLike = Union[str, Path]
+
+
+def write_trace(path: PathLike, records: Iterable[AccessRecord]) -> int:
+    """Write *records* to *path*; return the number of records written."""
+    count = 0
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write("# repro trace v1: <process> <core> <R|W|I> <address>\n")
+        for record in records:
+            handle.write(record.to_line())
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path: PathLike) -> Iterator[AccessRecord]:
+    """Yield the records stored in the trace file at *path*."""
+    source = Path(path)
+    if not source.exists():
+        raise WorkloadError(f"trace file {source} does not exist")
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            try:
+                yield AccessRecord.from_line(stripped)
+            except WorkloadError as exc:
+                raise WorkloadError(
+                    f"{source}:{line_number}: {exc}"
+                ) from exc
+
+
+def count_records(path: PathLike) -> int:
+    """Return the number of access records in a trace file."""
+    return sum(1 for _ in read_trace(path))

@@ -1,0 +1,105 @@
+"""Trace records: the unit of work the trace-driven simulator consumes.
+
+A trace is an ordered sequence of :class:`AccessRecord` objects, each
+describing one memory reference made by one core of one process.  Synthetic
+workload generators produce these records directly; the reader/writer pair
+in :mod:`repro.trace` serialises them to disk so traces can be captured
+once and replayed against many machine configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import WorkloadError
+
+
+class AccessType(Enum):
+    """Kind of memory reference."""
+
+    READ = "R"
+    WRITE = "W"
+    INSTRUCTION = "I"
+
+    @property
+    def is_write(self) -> bool:
+        """True for store references."""
+        return self is AccessType.WRITE
+
+    @property
+    def is_instruction(self) -> bool:
+        """True for instruction-fetch references."""
+        return self is AccessType.INSTRUCTION
+
+    @classmethod
+    def from_code(cls, code: str) -> "AccessType":
+        """Parse the single-character trace code (``R``/``W``/``I``)."""
+        for member in cls:
+            if member.value == code:
+                return member
+        raise WorkloadError(f"unknown access type code {code!r}")
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One memory reference in a trace.
+
+    Attributes
+    ----------
+    core:
+        The core (hardware thread) issuing the reference.
+    vaddr:
+        Virtual address referenced.
+    access_type:
+        Read, write or instruction fetch.
+    process_id:
+        Simulated process; distinct processes have distinct page tables
+        (used by the multi-process experiments of Section III-B).
+    """
+
+    core: int
+    vaddr: int
+    access_type: AccessType
+    process_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise WorkloadError(f"negative core id {self.core}")
+        if self.vaddr < 0:
+            raise WorkloadError(f"negative virtual address {self.vaddr:#x}")
+        if self.process_id < 0:
+            raise WorkloadError(f"negative process id {self.process_id}")
+
+    @property
+    def is_write(self) -> bool:
+        """True for store references."""
+        return self.access_type.is_write
+
+    @property
+    def is_instruction(self) -> bool:
+        """True for instruction-fetch references."""
+        return self.access_type.is_instruction
+
+    def to_line(self) -> str:
+        """Serialise to the one-line text trace format."""
+        return (
+            f"{self.process_id} {self.core} {self.access_type.value} {self.vaddr:#x}"
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "AccessRecord":
+        """Parse a record from the one-line text trace format."""
+        parts = line.split()
+        if len(parts) != 4:
+            raise WorkloadError(f"malformed trace line: {line!r}")
+        process_id, core, code, vaddr = parts
+        try:
+            return cls(
+                core=int(core),
+                vaddr=int(vaddr, 0),
+                access_type=AccessType.from_code(code),
+                process_id=int(process_id),
+            )
+        except ValueError as exc:
+            raise WorkloadError(f"malformed trace line: {line!r}") from exc

@@ -1,0 +1,15 @@
+"""Version information for the ALLARM reproduction library."""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+#: Paper reference reproduced by this library.
+PAPER_TITLE = "ALLARM: Optimizing Sparse Directories for Thread-Local Data"
+PAPER_AUTHORS = ("Amitabha Roy", "Timothy M. Jones")
+PAPER_VENUE = "DATE 2014"
+
+
+def version_string() -> str:
+    """Return a human-readable version banner."""
+    return f"repro {__version__} — reproduction of '{PAPER_TITLE}' ({PAPER_VENUE})"

@@ -1,0 +1,45 @@
+"""Synthetic SPLASH2/Parsec-like workloads and the benchmark registry."""
+
+from repro.workloads.base import (
+    RegionSpec,
+    SyntheticWorkload,
+    WorkloadSpec,
+    interleave,
+    materialize,
+)
+from repro.workloads.multiprocess import (
+    MultiProcessSpec,
+    build_multiprocess_spec,
+    generate_multiprocess,
+    multiprocess_benchmarks,
+)
+from repro.workloads.registry import (
+    MULTIPROCESS_BENCHMARKS,
+    PAPER_BENCHMARKS,
+    benchmark_names,
+    build_spec,
+    build_workload,
+    is_registered,
+    register,
+    unregister,
+)
+
+__all__ = [
+    "RegionSpec",
+    "WorkloadSpec",
+    "SyntheticWorkload",
+    "materialize",
+    "interleave",
+    "PAPER_BENCHMARKS",
+    "MULTIPROCESS_BENCHMARKS",
+    "benchmark_names",
+    "build_spec",
+    "build_workload",
+    "is_registered",
+    "register",
+    "unregister",
+    "MultiProcessSpec",
+    "build_multiprocess_spec",
+    "generate_multiprocess",
+    "multiprocess_benchmarks",
+]

@@ -1,0 +1,174 @@
+"""Parsec-like synthetic workloads: blackscholes, dedup, fluidanimate, x264.
+
+As with :mod:`repro.workloads.splash2`, each builder encodes the sharing
+behaviour the paper relies on:
+
+* **blackscholes** — the option portfolio is initialised by thread 0 and
+  then read by every worker.  Under first-touch all of that data is homed
+  at node 0, so its probe filter carries nearly all of the shared state —
+  which is why the paper finds blackscholes to be the benchmark most
+  sensitive to shrinking the probe filter (Figure 3h).
+* **dedup** — a pipeline: chunks are produced by one stage and consumed by
+  the next, so most directory requests are remote.
+* **fluidanimate** — a large per-thread working set whose capacity misses
+  dominate; the paper's only slowdown, because reducing probe-filter
+  evictions cannot recover misses that are capacity-induced.
+* **x264** — frame pipeline with wide read-sharing of reference frames and
+  the smallest local-request fraction of the suite.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RegionSpec, WorkloadSpec
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def blackscholes(total_accesses: int = 200_000, seed: int = 201) -> WorkloadSpec:
+    """Black-Scholes option pricing (Parsec)."""
+    regions = (
+        RegionSpec(
+            name="locals_hot",
+            kind="private",
+            bytes_per_instance=32 * KB,
+            reuse="zipf",
+            write_fraction=0.5,
+        ),
+        RegionSpec(
+            name="locals_stream",
+            kind="private",
+            bytes_per_instance=192 * KB,
+            reuse="sequential",
+            write_fraction=0.4,
+        ),
+        RegionSpec(
+            name="portfolio",
+            kind="shared",
+            bytes_per_instance=10 * MB,
+            sharing="producer",
+            reuse="zipf",
+            write_fraction=0.03,
+        ),
+    )
+    mix = {"locals_hot": 0.3, "locals_stream": 0.12, "portfolio": 0.58}
+    return WorkloadSpec(
+        name="blackscholes",
+        regions=regions,
+        mix=mix,
+        total_accesses=total_accesses,
+        seed=seed,
+        description="Option pricing: portfolio initialised by thread 0, read by all",
+    )
+
+
+def dedup(total_accesses: int = 200_000, seed: int = 202) -> WorkloadSpec:
+    """Deduplication pipeline (Parsec)."""
+    regions = (
+        RegionSpec(
+            name="stage_hot",
+            kind="private",
+            bytes_per_instance=64 * KB,
+            reuse="zipf",
+            write_fraction=0.4,
+        ),
+        RegionSpec(
+            name="stage_scratch",
+            kind="private",
+            bytes_per_instance=256 * KB,
+            reuse="sequential",
+            write_fraction=0.5,
+        ),
+        RegionSpec(
+            name="chunk_queues",
+            kind="shared",
+            bytes_per_instance=10 * MB,
+            sharing="pipeline",
+            reuse="zipf",
+            write_fraction=0.25,
+        ),
+    )
+    mix = {"stage_hot": 0.26, "stage_scratch": 0.06, "chunk_queues": 0.68}
+    return WorkloadSpec(
+        name="dedup",
+        regions=regions,
+        mix=mix,
+        total_accesses=total_accesses,
+        seed=seed,
+        description="Deduplication pipeline handing chunks between stages",
+    )
+
+
+def fluidanimate(total_accesses: int = 200_000, seed: int = 203) -> WorkloadSpec:
+    """Fluid dynamics (Parsec) — large, capacity-bound working set."""
+    regions = (
+        RegionSpec(
+            name="particles",
+            kind="private",
+            bytes_per_instance=1536 * KB,
+            reuse="zipf",
+            write_fraction=0.45,
+        ),
+        RegionSpec(
+            name="cell_lists",
+            kind="private",
+            bytes_per_instance=256 * KB,
+            reuse="sequential",
+            write_fraction=0.4,
+        ),
+        RegionSpec(
+            name="boundary",
+            kind="shared",
+            bytes_per_instance=8 * MB,
+            sharing="halo",
+            reuse="uniform",
+            write_fraction=0.35,
+            neighbour_fraction=0.35,
+        ),
+    )
+    mix = {"particles": 0.42, "cell_lists": 0.08, "boundary": 0.5}
+    return WorkloadSpec(
+        name="fluidanimate",
+        regions=regions,
+        mix=mix,
+        total_accesses=total_accesses,
+        seed=seed,
+        description="Particle simulation whose working set exceeds the caches",
+    )
+
+
+def x264(total_accesses: int = 200_000, seed: int = 204) -> WorkloadSpec:
+    """H.264 video encoding (Parsec)."""
+    regions = (
+        RegionSpec(
+            name="macroblocks",
+            kind="private",
+            bytes_per_instance=48 * KB,
+            reuse="zipf",
+            write_fraction=0.45,
+        ),
+        RegionSpec(
+            name="scratch",
+            kind="private",
+            bytes_per_instance=128 * KB,
+            reuse="sequential",
+            write_fraction=0.4,
+        ),
+        RegionSpec(
+            name="reference_frames",
+            kind="shared",
+            bytes_per_instance=14 * MB,
+            sharing="pipeline",
+            reuse="uniform",
+            write_fraction=0.22,
+        ),
+    )
+    mix = {"macroblocks": 0.25, "scratch": 0.08, "reference_frames": 0.67}
+    return WorkloadSpec(
+        name="x264",
+        regions=regions,
+        mix=mix,
+        total_accesses=total_accesses,
+        seed=seed,
+        description="Video encoding pipeline with widely shared reference frames",
+    )

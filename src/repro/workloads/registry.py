@@ -1,0 +1,93 @@
+"""Workload registry: look up benchmark builders by name.
+
+The evaluation uses a fixed benchmark list (Section III, Figure 2):
+barnes, blackscholes, cholesky, dedup, fluidanimate, ocean-cont,
+ocean-non-cont and x264.  The registry maps each name to its spec builder
+so that the experiment harness, the examples and the command line can all
+address benchmarks uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import WorkloadError
+from repro.workloads import parsec, splash2
+from repro.workloads.base import SyntheticWorkload, WorkloadSpec
+
+SpecBuilder = Callable[..., WorkloadSpec]
+
+_REGISTRY: Dict[str, SpecBuilder] = {
+    "barnes": splash2.barnes,
+    "blackscholes": parsec.blackscholes,
+    "cholesky": splash2.cholesky,
+    "dedup": parsec.dedup,
+    "fluidanimate": parsec.fluidanimate,
+    "ocean-cont": splash2.ocean_contiguous,
+    "ocean-non-cont": splash2.ocean_non_contiguous,
+    "x264": parsec.x264,
+}
+
+#: The benchmark order used throughout the paper's figures.
+PAPER_BENCHMARKS: List[str] = [
+    "barnes",
+    "blackscholes",
+    "cholesky",
+    "dedup",
+    "fluidanimate",
+    "ocean-cont",
+    "ocean-non-cont",
+    "x264",
+]
+
+#: The subset used by the multi-process study of Section III-B / Figure 4.
+MULTIPROCESS_BENCHMARKS: List[str] = [
+    "barnes",
+    "cholesky",
+    "ocean-cont",
+    "ocean-non-cont",
+]
+
+
+def benchmark_names() -> List[str]:
+    """Return every registered benchmark name, in paper order."""
+    return list(PAPER_BENCHMARKS)
+
+
+def is_registered(name: str) -> bool:
+    """True when *name* is a known benchmark."""
+    return name in _REGISTRY
+
+
+def build_spec(name: str, **kwargs) -> WorkloadSpec:
+    """Build the :class:`WorkloadSpec` for benchmark *name*.
+
+    Keyword arguments are forwarded to the benchmark builder (typically
+    ``total_accesses`` and ``seed``).
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; known benchmarks: {benchmark_names()}"
+        )
+    return builder(**kwargs)
+
+
+def build_workload(name: str, **kwargs) -> SyntheticWorkload:
+    """Build a ready-to-generate workload for benchmark *name*."""
+    return SyntheticWorkload(build_spec(name, **kwargs))
+
+
+def register(name: str, builder: SpecBuilder) -> None:
+    """Register a custom benchmark builder (used by examples and tests)."""
+    if name in _REGISTRY:
+        raise WorkloadError(f"benchmark {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def unregister(name: str) -> None:
+    """Remove a custom benchmark (no-op protection for the built-ins)."""
+    if name in PAPER_BENCHMARKS:
+        raise WorkloadError(f"cannot unregister the built-in benchmark {name!r}")
+    _REGISTRY.pop(name, None)

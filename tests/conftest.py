@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite.
+
+Tests run against deliberately small machines and workloads so the whole
+suite stays fast; the benchmark harness (benchmarks/) is where full-size
+experiment runs live.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.address import AddressMap
+from repro.system.config import SystemConfig, experiment_config, paper_config
+
+
+@pytest.fixture
+def address_map() -> AddressMap:
+    """The paper's physical memory geometry (Table I)."""
+    return AddressMap()
+
+
+@pytest.fixture
+def paper_cfg() -> SystemConfig:
+    """Table I configuration with the baseline policy."""
+    return paper_config("baseline")
+
+
+@pytest.fixture
+def small_baseline_cfg() -> SystemConfig:
+    """A heavily scaled-down baseline machine for fast functional tests."""
+    return experiment_config("baseline", scale=16)
+
+
+@pytest.fixture
+def small_allarm_cfg() -> SystemConfig:
+    """A heavily scaled-down ALLARM machine for fast functional tests."""
+    return experiment_config("allarm", scale=16)

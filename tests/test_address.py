@@ -1,0 +1,144 @@
+"""Tests for physical/virtual address arithmetic and home-node mapping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError, ConfigurationError
+from repro.memory.address import AddressMap, VirtualAddressSpace, is_power_of_two, log2_exact
+
+
+class TestPowerOfTwoHelpers:
+    def test_powers_of_two_detected(self):
+        for exponent in range(0, 20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_rejected(self):
+        for value in (0, -1, 3, 6, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(64) == 6
+        assert log2_exact(4096) == 12
+
+    def test_log2_exact_rejects_non_power(self):
+        with pytest.raises(ConfigurationError):
+            log2_exact(48)
+
+
+class TestAddressMapGeometry:
+    def test_paper_defaults(self, address_map):
+        assert address_map.node_count == 16
+        assert address_map.bytes_per_node == 128 * 1024 * 1024
+        assert address_map.pages_per_node == 32768
+        assert address_map.lines_per_page == 64
+        assert address_map.total_frames == 16 * 32768
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap(line_size=48)
+
+    def test_rejects_page_smaller_than_line(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap(line_size=4096, page_size=64)
+
+    def test_rejects_indivisible_memory(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap(node_count=3, memory_bytes=1024 * 1024 * 1024 + 1)
+
+
+class TestLineAndPageMath:
+    def test_line_alignment(self, address_map):
+        assert address_map.line_address(0x1000) == 0x1000
+        assert address_map.line_address(0x103F) == 0x1000
+        assert address_map.line_address(0x1040) == 0x1040
+
+    def test_line_offset(self, address_map):
+        assert address_map.line_offset(0x1000) == 0
+        assert address_map.line_offset(0x1001) == 1
+        assert address_map.line_offset(0x103F) == 63
+
+    def test_page_alignment(self, address_map):
+        assert address_map.page_address(0x1234) == 0x1000
+        assert address_map.page_offset(0x1234) == 0x234
+
+    def test_out_of_range_address_rejected(self, address_map):
+        with pytest.raises(AddressError):
+            address_map.line_address(address_map.memory_bytes)
+        with pytest.raises(AddressError):
+            address_map.line_address(-1)
+
+    def test_frame_base_round_trip(self, address_map):
+        frame = 12345
+        base = address_map.frame_base(frame)
+        assert address_map.page_number(base) == frame
+
+    def test_frame_out_of_range(self, address_map):
+        with pytest.raises(AddressError):
+            address_map.frame_base(address_map.total_frames)
+
+
+class TestHomeNodeMapping:
+    def test_first_and_last_node(self, address_map):
+        assert address_map.home_node(0) == 0
+        assert address_map.home_node(address_map.memory_bytes - 1) == 15
+
+    def test_boundaries(self, address_map):
+        per_node = address_map.bytes_per_node
+        assert address_map.home_node(per_node - 1) == 0
+        assert address_map.home_node(per_node) == 1
+
+    def test_node_address_range_matches_home(self, address_map):
+        for node in range(address_map.node_count):
+            addr_range = address_map.node_address_range(node)
+            assert address_map.home_node(addr_range.start) == node
+            assert address_map.home_node(addr_range[-1]) == node
+
+    def test_node_frame_range(self, address_map):
+        frames = address_map.node_frame_range(3)
+        assert address_map.home_node_of_frame(frames.start) == 3
+        assert address_map.home_node_of_frame(frames[-1]) == 3
+
+    def test_invalid_node_rejected(self, address_map):
+        with pytest.raises(AddressError):
+            address_map.node_frame_range(16)
+        with pytest.raises(AddressError):
+            address_map.node_address_range(-1)
+
+    @given(st.integers(min_value=0, max_value=2 * 1024 * 1024 * 1024 - 1))
+    def test_home_node_always_valid(self, address):
+        amap = AddressMap()
+        assert 0 <= amap.home_node(address) < amap.node_count
+
+    @given(st.integers(min_value=0, max_value=2 * 1024 * 1024 * 1024 - 1))
+    def test_line_address_is_aligned_and_contains(self, address):
+        amap = AddressMap()
+        line = amap.line_address(address)
+        assert line % amap.line_size == 0
+        assert line <= address < line + amap.line_size
+
+    @given(st.integers(min_value=0, max_value=2 * 1024 * 1024 * 1024 - 1))
+    def test_line_and_page_consistent_home(self, address):
+        amap = AddressMap()
+        # A line never spans nodes, so its home equals its address's home.
+        assert amap.home_node(amap.line_address(address)) == amap.home_node(address)
+
+
+class TestVirtualAddressSpace:
+    def test_page_number_and_offset(self):
+        vas = VirtualAddressSpace()
+        assert vas.page_number(0x5000) == 5
+        assert vas.page_offset(0x5123) == 0x123
+
+    def test_out_of_range(self):
+        vas = VirtualAddressSpace(size_bytes=1 << 20)
+        with pytest.raises(AddressError):
+            vas.page_number(1 << 20)
+        with pytest.raises(AddressError):
+            vas.page_offset(-1)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            VirtualAddressSpace(page_size=1000)

@@ -1,0 +1,151 @@
+"""Tests for MOESI states, message sizing and transaction records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.messages import (
+    Message,
+    MessageClass,
+    MessageFactory,
+    MessageSizing,
+    MessageType,
+)
+from repro.coherence.states import LineState, fill_state
+from repro.coherence.transactions import DataSource, RequestKind, Transaction
+from repro.errors import ConfigurationError
+
+
+class TestLineState:
+    def test_validity(self):
+        assert not LineState.INVALID.is_valid
+        for state in (LineState.MODIFIED, LineState.OWNED, LineState.EXCLUSIVE, LineState.SHARED):
+            assert state.is_valid
+
+    def test_dirtiness(self):
+        assert LineState.MODIFIED.is_dirty
+        assert LineState.OWNED.is_dirty
+        assert not LineState.EXCLUSIVE.is_dirty
+        assert not LineState.SHARED.is_dirty
+        assert not LineState.INVALID.is_dirty
+
+    def test_write_permission(self):
+        assert LineState.MODIFIED.can_write
+        assert LineState.EXCLUSIVE.can_write
+        assert not LineState.SHARED.can_write
+        assert not LineState.OWNED.can_write
+
+    def test_ownership(self):
+        assert LineState.MODIFIED.is_owner
+        assert LineState.OWNED.is_owner
+        assert LineState.EXCLUSIVE.is_owner
+        assert not LineState.SHARED.is_owner
+
+    def test_silent_write_transition(self):
+        assert LineState.EXCLUSIVE.after_local_write() is LineState.MODIFIED
+        assert LineState.MODIFIED.after_local_write() is LineState.MODIFIED
+
+    def test_silent_write_rejected_for_shared(self):
+        with pytest.raises(ValueError):
+            LineState.SHARED.after_local_write()
+
+    def test_remote_read_downgrades(self):
+        assert LineState.MODIFIED.after_remote_read() is LineState.OWNED
+        assert LineState.EXCLUSIVE.after_remote_read() is LineState.SHARED
+        assert LineState.OWNED.after_remote_read() is LineState.OWNED
+        assert LineState.SHARED.after_remote_read() is LineState.SHARED
+
+    def test_remote_read_of_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            LineState.INVALID.after_remote_read()
+
+    def test_remote_write_invalidates(self):
+        for state in (LineState.MODIFIED, LineState.SHARED, LineState.EXCLUSIVE):
+            assert state.after_remote_write() is LineState.INVALID
+
+    def test_fill_state(self):
+        assert fill_state(is_write=True, had_other_sharers=False) is LineState.MODIFIED
+        assert fill_state(is_write=True, had_other_sharers=True) is LineState.MODIFIED
+        assert fill_state(is_write=False, had_other_sharers=False) is LineState.EXCLUSIVE
+        assert fill_state(is_write=False, had_other_sharers=True) is LineState.SHARED
+
+
+class TestMessageSizing:
+    def test_table1_defaults(self):
+        sizing = MessageSizing()
+        assert sizing.size_of(MessageType.GET_SHARED) == 8
+        assert sizing.size_of(MessageType.DATA_FROM_MEMORY) == 72
+        assert sizing.flits_of(MessageType.GET_SHARED) == 2
+        assert sizing.flits_of(MessageType.DATA_FROM_MEMORY) == 18
+
+    def test_control_vs_data_classification(self):
+        assert MessageType.INVALIDATE.message_class is MessageClass.CONTROL
+        assert MessageType.ACK.message_class is MessageClass.CONTROL
+        assert MessageType.LOCAL_STATE_PROBE.message_class is MessageClass.CONTROL
+        assert MessageType.WRITEBACK_DATA.message_class is MessageClass.DATA
+        assert MessageType.DATA_FROM_OWNER.message_class is MessageClass.DATA
+
+    def test_invalid_sizing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageSizing(control_bytes=0)
+        with pytest.raises(ConfigurationError):
+            MessageSizing(flit_bytes=0)
+        with pytest.raises(ConfigurationError):
+            MessageSizing(control_bytes=80, data_bytes=72)
+
+    def test_flit_count_rounds_up(self):
+        sizing = MessageSizing(control_bytes=9, data_bytes=73, flit_bytes=4)
+        assert sizing.flits_of(MessageType.ACK) == 3
+        assert sizing.flits_of(MessageType.WRITEBACK_DATA) == 19
+
+
+class TestMessageFactory:
+    def test_factory_stamps_size_and_flits(self):
+        factory = MessageFactory()
+        message = factory.make(MessageType.GET_EXCLUSIVE, src=1, dst=5, line_address=0x40)
+        assert message.size_bytes == 8
+        assert message.flits == 2
+        assert not message.is_data
+        assert not message.is_local
+
+    def test_local_message_detection(self):
+        factory = MessageFactory()
+        message = factory.make(MessageType.LOCAL_STATE_PROBE, src=3, dst=3, line_address=0)
+        assert message.is_local
+
+    def test_message_ids_unique(self):
+        factory = MessageFactory()
+        ids = {factory.make(MessageType.ACK, 0, 1, 0).msg_id for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestTransaction:
+    def test_local_request_detection(self):
+        txn = Transaction(requester=4, home=4, line_address=0x80, kind=RequestKind.READ)
+        assert txn.is_local_request
+        txn2 = Transaction(requester=4, home=5, line_address=0x80, kind=RequestKind.WRITE)
+        assert not txn2.is_local_request
+
+    def test_network_bytes_ignores_local_messages(self):
+        factory = MessageFactory()
+        txn = Transaction(requester=0, home=1, line_address=0, kind=RequestKind.READ)
+        txn.add_message(factory.make(MessageType.GET_SHARED, 0, 1, 0))
+        txn.add_message(factory.make(MessageType.LOCAL_STATE_PROBE, 1, 1, 0))
+        txn.add_message(factory.make(MessageType.DATA_FROM_MEMORY, 1, 0, 0))
+        assert txn.network_bytes == 8 + 72
+        assert txn.message_count == 3
+
+    def test_add_message_tags_transaction(self):
+        factory = MessageFactory()
+        txn = Transaction(requester=0, home=1, line_address=0, kind=RequestKind.READ)
+        message = factory.make(MessageType.ACK, 1, 0, 0)
+        txn.add_message(message)
+        assert message.transaction_id == txn.txn_id
+
+    def test_request_kind_flags(self):
+        assert RequestKind.WRITE.is_write
+        assert not RequestKind.READ.is_write
+
+    def test_default_data_source(self):
+        txn = Transaction(requester=0, home=1, line_address=0, kind=RequestKind.READ)
+        assert txn.data_source is DataSource.NONE

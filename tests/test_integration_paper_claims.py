@@ -1,0 +1,94 @@
+"""Integration tests asserting the paper's qualitative claims end-to-end.
+
+These are the "does the reproduction behave like the paper says" checks,
+run on reduced-size configurations so they stay test-suite fast.  The full
+sized runs live in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import ExperimentRunner, ExperimentSettings
+from repro.stats.compare import RunComparison
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    settings = ExperimentSettings(scale=16, accesses=10_000, multiprocess_accesses=4_000)
+    return ExperimentRunner(settings)
+
+
+class TestAllarmCoreClaims:
+    def test_allarm_never_allocates_for_local_requests(self, runner):
+        """ALLARM requires no directory entries for thread-private data."""
+        for benchmark in ("barnes", "ocean-cont"):
+            baseline, allarm = runner.run_pair(benchmark)
+            assert allarm.pf_allocations < baseline.pf_allocations
+            # Allocation reduction should roughly track the local fraction.
+            local = baseline.local_fraction
+            reduction = 1 - allarm.pf_allocations / baseline.pf_allocations
+            assert reduction >= 0.5 * local
+
+    def test_eviction_reduction_across_suite(self, runner):
+        """Probe-filter evictions drop substantially (paper: 46% average)."""
+        ratios = []
+        for benchmark in ("barnes", "cholesky", "ocean-cont", "x264"):
+            baseline, allarm = runner.run_pair(benchmark)
+            if baseline.pf_evictions:
+                ratios.append(allarm.pf_evictions / baseline.pf_evictions)
+        assert ratios, "expected baseline probe-filter evictions"
+        assert sum(ratios) / len(ratios) < 0.9
+
+    def test_network_traffic_does_not_grow(self, runner):
+        """ALLARM creates no coherence traffic for thread-local data."""
+        for benchmark in ("barnes", "dedup"):
+            baseline, allarm = runner.run_pair(benchmark)
+            assert allarm.network_bytes <= baseline.network_bytes * 1.02
+
+    def test_latency_hiding_majority(self, runner):
+        """Most remote probe-filter misses hide the local probe (Fig. 3g)."""
+        fractions = []
+        for benchmark in ("barnes", "cholesky", "x264"):
+            _, allarm = runner.run_pair(benchmark)
+            if allarm.local_probes_sent:
+                fractions.append(allarm.probe_hidden_fraction)
+        assert fractions
+        assert sum(fractions) / len(fractions) > 0.6
+
+    def test_execution_time_not_degraded_materially(self, runner):
+        """ALLARM must not slow the suite down (paper: 13% average gain)."""
+        speedups = []
+        for benchmark in ("barnes", "blackscholes", "dedup"):
+            baseline, allarm = runner.run_pair(benchmark)
+            speedups.append(RunComparison(baseline, allarm).speedup)
+        assert all(speedup > 0.9 for speedup in speedups)
+
+    def test_correctness_is_policy_independent(self, runner):
+        """ALLARM is a performance policy: the same accesses are serviced."""
+        baseline, allarm = runner.run_pair("cholesky")
+        assert baseline.total_accesses == allarm.total_accesses
+        assert baseline.directory_requests > 0
+        assert allarm.directory_requests > 0
+
+
+class TestMultiProcessClaims:
+    def test_baseline_evictions_grow_as_pf_shrinks(self, runner):
+        """Figure 4b: baseline eviction growth under a shrinking PF."""
+        large = runner.run_multiprocess("barnes", "baseline", 512 * 1024)
+        small = runner.run_multiprocess("barnes", "baseline", 32 * 1024)
+        assert small.pf_evictions >= large.pf_evictions
+
+    def test_allarm_insensitive_to_pf_size(self, runner):
+        """Figures 4d-4f: ALLARM barely notices the probe-filter size."""
+        large = runner.run_multiprocess("barnes", "allarm", 512 * 1024)
+        small = runner.run_multiprocess("barnes", "allarm", 32 * 1024)
+        baseline_small = runner.run_multiprocess("barnes", "baseline", 32 * 1024)
+        assert small.pf_evictions <= baseline_small.pf_evictions
+        # Execution time under ALLARM stays within a few percent across sizes.
+        assert small.execution_time_ns <= large.execution_time_ns * 1.1
+
+    def test_multiprocess_requests_are_overwhelmingly_local(self, runner):
+        """Two independent single-threaded processes share almost nothing."""
+        snapshot = runner.run_multiprocess("ocean-cont", "baseline", 512 * 1024)
+        assert snapshot.local_fraction > 0.8

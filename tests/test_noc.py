@@ -1,0 +1,181 @@
+"""Tests for the mesh topology, routing, links, routers and the network."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coherence.messages import MessageFactory, MessageType
+from repro.errors import ConfigurationError, NetworkError
+from repro.noc.link import Link
+from repro.noc.network import Network
+from repro.noc.router import Router
+from repro.noc.routing import XYRouting, YXRouting, available_routing, make_routing
+from repro.noc.topology import MeshTopology
+
+
+class TestMeshTopology:
+    def test_paper_mesh(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.node_count == 16
+        assert mesh.coordinate(0).x == 0 and mesh.coordinate(0).y == 0
+        assert mesh.coordinate(15).x == 3 and mesh.coordinate(15).y == 3
+
+    def test_neighbours_corner_edge_centre(self):
+        mesh = MeshTopology(4, 4)
+        assert sorted(mesh.neighbours(0)) == [1, 4]
+        assert sorted(mesh.neighbours(1)) == [0, 2, 5]
+        assert sorted(mesh.neighbours(5)) == [1, 4, 6, 9]
+
+    def test_hop_distance(self):
+        mesh = MeshTopology(4, 4)
+        assert mesh.hop_distance(0, 0) == 0
+        assert mesh.hop_distance(0, 3) == 3
+        assert mesh.hop_distance(0, 15) == 6
+        assert mesh.are_adjacent(0, 1)
+        assert not mesh.are_adjacent(0, 5)
+
+    def test_links_are_bidirectional_pairs(self):
+        mesh = MeshTopology(2, 2)
+        links = set(mesh.links())
+        assert (0, 1) in links and (1, 0) in links
+        assert len(links) == 8
+
+    def test_average_distance_positive(self):
+        mesh = MeshTopology(4, 4)
+        assert 2.0 < mesh.average_distance() < 3.0
+
+    def test_invalid_nodes_rejected(self):
+        mesh = MeshTopology(4, 4)
+        with pytest.raises(NetworkError):
+            mesh.coordinate(16)
+        with pytest.raises(NetworkError):
+            mesh.node_at(4, 0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(0, 4)
+
+
+class TestRouting:
+    def test_xy_route_shape(self):
+        mesh = MeshTopology(4, 4)
+        route = XYRouting(mesh).route(0, 15)
+        assert route[0] == 0 and route[-1] == 15
+        assert len(route) == 7  # 6 hops
+        # X corrected before Y.
+        assert route[:4] == [0, 1, 2, 3]
+
+    def test_yx_route_shape(self):
+        mesh = MeshTopology(4, 4)
+        route = YXRouting(mesh).route(0, 15)
+        assert route[:4] == [0, 4, 8, 12]
+        assert route[-1] == 15
+
+    def test_routes_are_minimal(self):
+        mesh = MeshTopology(4, 4)
+        xy = XYRouting(mesh)
+        for src in mesh.nodes():
+            for dst in mesh.nodes():
+                assert xy.hop_count(src, dst) == mesh.hop_distance(src, dst)
+
+    def test_factory(self):
+        mesh = MeshTopology(2, 2)
+        assert isinstance(make_routing("xy", mesh), XYRouting)
+        assert isinstance(make_routing("yx", mesh), YXRouting)
+        assert available_routing() == ["xy", "yx"]
+        with pytest.raises(ConfigurationError):
+            make_routing("adaptive", mesh)
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=15))
+    def test_route_steps_are_adjacent(self, src, dst):
+        mesh = MeshTopology(4, 4)
+        route = XYRouting(mesh).route(src, dst)
+        for a, b in zip(route, route[1:]):
+            assert mesh.are_adjacent(a, b)
+
+
+class TestLinkAndRouter:
+    def test_link_latency_includes_serialization(self):
+        link = Link(0, 1, bandwidth_bytes_per_ns=8.0, latency_ns=10.0)
+        assert link.traversal_ns(8) == pytest.approx(11.0)
+        assert link.traversal_ns(72) == pytest.approx(19.0)
+
+    def test_link_records_traffic(self):
+        link = Link(0, 1)
+        link.record(72, 18)
+        assert link.stats.messages == 1
+        assert link.stats.bytes == 72
+        assert link.stats.flits == 18
+        assert link.utilisation(100.0) > 0
+
+    def test_link_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Link(0, 1, bandwidth_bytes_per_ns=0)
+        with pytest.raises(ConfigurationError):
+            Link(0, 1, latency_ns=-1)
+
+    def test_router_forward(self):
+        router = Router(3, pipeline_latency_ns=1.5)
+        latency = router.forward(8, 2)
+        assert latency == pytest.approx(1.5)
+        assert router.stats.flits_forwarded == 2
+
+
+class TestNetwork:
+    def make(self) -> Network:
+        return Network()
+
+    def test_local_delivery_is_free_and_untracked(self):
+        network = self.make()
+        message = MessageFactory().make(MessageType.LOCAL_STATE_PROBE, 5, 5, 0x40)
+        result = network.deliver(message)
+        assert result.latency_ns == 0.0
+        assert result.hops == 0
+        assert network.stats.bytes_injected == 0
+        assert network.stats.local_messages == 1
+
+    def test_remote_delivery_charges_per_hop(self):
+        network = self.make()
+        message = MessageFactory().make(MessageType.GET_SHARED, 0, 3, 0x40)
+        result = network.deliver(message)
+        assert result.hops == 3
+        # Three hops of router (1.5) + link latency (10) + serialization (1).
+        assert result.latency_ns == pytest.approx(3 * (1.5 + 10.0 + 1.0))
+        assert network.stats.bytes_injected == 8
+        assert network.stats.flit_hops == 2 * 3
+
+    def test_data_message_serialization(self):
+        network = self.make()
+        message = MessageFactory().make(MessageType.DATA_FROM_MEMORY, 0, 1, 0x40)
+        result = network.deliver(message)
+        assert result.latency_ns == pytest.approx(1.5 + 10.0 + 9.0)
+        assert network.stats.byte_hops == 72
+
+    def test_traffic_accumulates_by_type(self):
+        network = self.make()
+        factory = MessageFactory()
+        network.deliver(factory.make(MessageType.INVALIDATE, 0, 1, 0))
+        network.deliver(factory.make(MessageType.INVALIDATE, 0, 2, 0))
+        assert network.stats.messages_by_type["Inv"] == 2
+        assert network.stats.bytes_by_type["Inv"] == 16
+
+    def test_latency_estimate_matches_delivery(self):
+        network = self.make()
+        estimate = network.latency_estimate(0, 3, 8)
+        message = MessageFactory().make(MessageType.GET_SHARED, 0, 3, 0)
+        assert network.deliver(message).latency_ns == pytest.approx(estimate)
+
+    def test_invalid_endpoint_rejected(self):
+        network = self.make()
+        message = MessageFactory().make(MessageType.ACK, 0, 99, 0)
+        with pytest.raises(NetworkError):
+            network.deliver(message)
+
+    @given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=15))
+    def test_latency_monotonic_in_distance(self, src, dst):
+        network = Network()
+        direct = network.latency_estimate(src, dst, 8)
+        assert direct >= 0
+        if src != dst:
+            assert direct > 0

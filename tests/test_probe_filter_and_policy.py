@@ -1,0 +1,191 @@
+"""Tests for the sparse directory (probe filter) and allocation policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy import (
+    AllarmPolicy,
+    BaselinePolicy,
+    PhysicalRange,
+    available_policies,
+    make_policy,
+)
+from repro.core.probe_filter import ProbeFilter
+from repro.errors import ConfigurationError, ProtocolError
+
+
+class TestProbeFilterGeometry:
+    def test_paper_coverage(self):
+        pf = ProbeFilter(node_id=0)
+        assert pf.entry_count == 8192
+        assert pf.set_count == 2048
+        assert pf.associativity == 4
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ConfigurationError):
+            ProbeFilter(node_id=0, coverage_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ProbeFilter(node_id=0, coverage_bytes=1000)
+
+
+class TestProbeFilterOperations:
+    def make(self, coverage=4096, assoc=2):
+        return ProbeFilter(node_id=1, coverage_bytes=coverage, associativity=assoc)
+
+    def test_miss_then_hit(self):
+        pf = self.make()
+        assert pf.lookup(0x40) is None
+        pf.allocate(0x40, owner=3)
+        entry = pf.lookup(0x40)
+        assert entry is not None
+        assert entry.owner == 3
+        assert pf.stats.hits == 1 and pf.stats.misses == 1
+
+    def test_duplicate_allocation_rejected(self):
+        pf = self.make()
+        pf.allocate(0x40, owner=3)
+        with pytest.raises(ProtocolError):
+            pf.allocate(0x40, owner=4)
+
+    def test_eviction_on_full_set(self):
+        pf = self.make(coverage=2048, assoc=2)  # 16 sets of 2
+        stride = 64 * pf.set_count
+        pf.allocate(0 * stride, owner=0)
+        pf.allocate(1 * stride, owner=1)
+        outcome = pf.allocate(2 * stride, owner=2)
+        assert outcome.caused_eviction
+        assert pf.stats.evictions == 1
+        assert outcome.victim is not None
+
+    def test_eviction_counts_holder_invalidations(self):
+        pf = self.make(coverage=2048, assoc=2)
+        stride = 64 * pf.set_count
+        pf.allocate(0 * stride, owner=0, sharers={1, 2})
+        pf.allocate(1 * stride, owner=3)
+        pf.allocate(2 * stride, owner=4)
+        assert pf.stats.eviction_invalidations == 3  # owner 0 plus sharers 1, 2
+
+    def test_deallocate(self):
+        pf = self.make()
+        pf.allocate(0x80, owner=5)
+        entry = pf.deallocate(0x80)
+        assert entry.owner == 5
+        assert pf.lookup(0x80) is None
+        assert pf.occupancy() == 0
+
+    def test_deallocate_untracked_rejected(self):
+        pf = self.make()
+        with pytest.raises(ProtocolError):
+            pf.deallocate(0x80)
+
+    def test_holders_property(self):
+        pf = self.make()
+        outcome = pf.allocate(0x100, owner=2, sharers={4, 7})
+        assert outcome.entry.holders == {2, 4, 7}
+        assert outcome.entry.holder_count == 3
+
+    def test_lru_protects_recently_touched_entry(self):
+        pf = self.make(coverage=2048, assoc=2)
+        stride = 64 * pf.set_count
+        pf.allocate(0 * stride, owner=0)
+        pf.allocate(1 * stride, owner=1)
+        pf.lookup(0 * stride)  # refresh entry 0
+        outcome = pf.allocate(2 * stride, owner=2)
+        assert outcome.victim.line_address == 1 * stride
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=511), min_size=1, max_size=400))
+    def test_occupancy_bounded_by_capacity(self, line_indices):
+        pf = ProbeFilter(node_id=0, coverage_bytes=4096, associativity=4)
+        for index in line_indices:
+            address = index * 64
+            if pf.peek(address) is None:
+                pf.allocate(address, owner=index % 16)
+        assert pf.occupancy() <= pf.entry_count
+        assert pf.stats.allocations - pf.stats.evictions - pf.stats.deallocations == pf.occupancy()
+
+
+class TestPhysicalRange:
+    def test_contains(self):
+        r = PhysicalRange(0x1000, 0x2000)
+        assert r.contains(0x1000)
+        assert r.contains(0x1FFF)
+        assert not r.contains(0x2000)
+        assert not r.contains(0xFFF)
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalRange(0x2000, 0x2000)
+        with pytest.raises(ConfigurationError):
+            PhysicalRange(-1, 0x100)
+
+
+class TestBaselinePolicy:
+    def test_always_allocates(self):
+        policy = BaselinePolicy()
+        assert policy.should_allocate(0, 0, 0x40)
+        assert policy.should_allocate(3, 0, 0x40)
+        assert not policy.needs_local_probe(3, 0, 0x40)
+        assert "baseline" in policy.describe()
+
+
+class TestAllarmPolicy:
+    def test_local_miss_skips_allocation(self):
+        policy = AllarmPolicy()
+        assert not policy.should_allocate(requester_node=5, home_node=5, line_address=0x40)
+        assert policy.should_allocate(requester_node=4, home_node=5, line_address=0x40)
+
+    def test_remote_miss_probes_local_cache(self):
+        policy = AllarmPolicy()
+        assert policy.needs_local_probe(4, 5, 0x40)
+        assert not policy.needs_local_probe(5, 5, 0x40)
+
+    def test_disabled_behaves_as_baseline(self):
+        policy = AllarmPolicy(enabled=False)
+        assert policy.should_allocate(5, 5, 0x40)
+        assert not policy.needs_local_probe(4, 5, 0x40)
+        assert "disabled" in policy.describe()
+
+    def test_range_restriction(self):
+        ranges = (PhysicalRange(0, 0x1000),)
+        policy = AllarmPolicy(active_ranges=ranges)
+        # Inside the range: ALLARM semantics.
+        assert not policy.should_allocate(2, 2, 0x800)
+        # Outside the range: baseline semantics.
+        assert policy.should_allocate(2, 2, 0x2000)
+        assert not policy.needs_local_probe(1, 2, 0x2000)
+        assert "range" in policy.describe()
+
+    def test_statelessness(self):
+        # The decision depends only on the arguments, never on history.
+        policy = AllarmPolicy()
+        first = policy.should_allocate(1, 2, 0x40)
+        for _ in range(10):
+            policy.should_allocate(2, 2, 0x40)
+        assert policy.should_allocate(1, 2, 0x40) == first
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_allocate_iff_remote(self, requester, home, address):
+        policy = AllarmPolicy()
+        line = address * 64
+        assert policy.should_allocate(requester, home, line) == (requester != home)
+        assert policy.needs_local_probe(requester, home, line) == (requester != home)
+
+
+class TestPolicyFactory:
+    def test_names(self):
+        assert available_policies() == ["baseline", "allarm"]
+
+    def test_make(self):
+        assert isinstance(make_policy("baseline"), BaselinePolicy)
+        assert isinstance(make_policy("allarm"), AllarmPolicy)
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("adaptive")
