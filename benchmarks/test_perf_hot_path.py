@@ -1,0 +1,74 @@
+"""Micro-benchmark regression guard for the access fast path.
+
+Replays a hit-dominated trace (a handful of hot lines, all L1 hits after
+warm-up) and asserts the simulator sustains a minimum accesses/second.
+The floor is deliberately *generous* — the seed implementation reached
+~225k accesses/s on the reference container and the fast path ~340k/s,
+so the default floor of 100k only trips on a real regression (e.g. the
+per-access fast path growing object churn or re-resolving config state),
+not on machine-to-machine noise.
+
+Knobs:
+
+* ``REPRO_SKIP_PERF=1``       — skip entirely (for slow/shared CI hosts).
+* ``REPRO_PERF_MIN_RATE=N``   — override the accesses/second floor.
+* ``REPRO_PERF_ACCESSES=N``   — override the trace length.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.system.config import experiment_config
+from repro.system.simulator import Simulator
+from repro.trace.record import AccessRecord, AccessType
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF") == "1",
+    reason="REPRO_SKIP_PERF=1 disables the hot-path perf guard",
+)
+
+#: Generous floor (accesses/second); well below the seed implementation.
+DEFAULT_MIN_RATE = 100_000.0
+#: Hot-set size in lines; fits the L1 so steady state is all hits.
+HOT_LINES = 16
+LINE_SIZE = 64
+BASE_VADDR = 0x2000_0000
+
+
+def _hit_dominated_trace(access_count: int):
+    read = AccessType.READ
+    return [
+        AccessRecord(
+            core=0,
+            vaddr=BASE_VADDR + (index % HOT_LINES) * LINE_SIZE,
+            access_type=read,
+        )
+        for index in range(access_count)
+    ]
+
+
+def test_hit_dominated_access_rate():
+    access_count = int(os.environ.get("REPRO_PERF_ACCESSES", "200000"))
+    min_rate = float(os.environ.get("REPRO_PERF_MIN_RATE", str(DEFAULT_MIN_RATE)))
+
+    trace = _hit_dominated_trace(access_count)
+    simulator = Simulator(experiment_config("baseline", scale=16))
+
+    started = time.perf_counter()
+    result = simulator.run(trace, "hot-path-guard")
+    elapsed = time.perf_counter() - started
+
+    assert result.accesses_simulated == access_count
+    # Steady state must be hit-dominated, otherwise the rate measures the
+    # coherence path rather than the fast path.
+    assert result.snapshot.l2_misses < access_count // 100
+
+    rate = access_count / elapsed
+    assert rate >= min_rate, (
+        f"hot path sustained {rate:,.0f} accesses/s, below the "
+        f"{min_rate:,.0f}/s regression floor"
+    )

@@ -19,6 +19,8 @@ Quickstart
 True
 """
 
+from repro.analysis.executor import SweepExecutor, execute_run_spec
+from repro.analysis.plan import ExperimentSettings, RunSpec, SweepPlan, build_plan
 from repro.core.policy import AllarmPolicy, BaselinePolicy, PhysicalRange
 from repro.energy.mcpat import McPatModel
 from repro.errors import (
@@ -62,6 +64,13 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "simulate",
+    # sweep engine
+    "ExperimentSettings",
+    "RunSpec",
+    "SweepPlan",
+    "SweepExecutor",
+    "build_plan",
+    "execute_run_spec",
     # the contribution
     "BaselinePolicy",
     "AllarmPolicy",

@@ -1,0 +1,210 @@
+"""Command line for the sweep engine: ``python -m repro <command>``.
+
+Commands
+--------
+``sweep``
+    Run a named sweep plan (``fig3``, ``fig3h``, ``fig4`` or ``all``)
+    through the :class:`~repro.analysis.executor.SweepExecutor`, optionally
+    fanning runs out over worker processes and caching snapshots on disk,
+    and print a per-run result table.
+``plans``
+    List the named plans and how many runs each contains at the current
+    settings.
+``version``
+    Print the library version banner.
+
+Examples
+--------
+::
+
+    python -m repro sweep --plan fig3 --workers 4 --cache-dir .repro-cache
+    python -m repro sweep --plan fig4 --benchmarks barnes,cholesky
+    python -m repro plans
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.executor import (
+    SOURCE_DISK,
+    SOURCE_EXECUTED,
+    SOURCE_MEMORY,
+    SweepExecutor,
+    SweepOutcome,
+)
+from repro.analysis.plan import (
+    PLAN_BUILDERS,
+    ExperimentSettings,
+    build_plan,
+)
+from repro.errors import ReproError
+from repro.version import version_string
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    """Environment-derived settings with command-line overrides applied."""
+    settings = ExperimentSettings.from_environment()
+    overrides = {}
+    if args.accesses is not None:
+        overrides["accesses"] = args.accesses
+    if args.mp_accesses is not None:
+        overrides["multiprocess_accesses"] = args.mp_accesses
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        from dataclasses import replace
+
+        settings = replace(settings, **overrides)
+    return settings
+
+
+def _parse_benchmarks(value: Optional[str]) -> Optional[List[str]]:
+    if not value:
+        return None
+    return [name.strip() for name in value.split(",") if name.strip()]
+
+
+def format_outcome_table(outcome: SweepOutcome) -> str:
+    """Render one sweep outcome as an aligned text table."""
+    header = (
+        f"{'benchmark':<16} {'policy':<9} {'layout':<6} {'pf(kB)':>7} "
+        f"{'time(ns)':>14} {'l2miss':>9} {'pf_evict':>9} {'local%':>7} {'source':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in outcome.results:
+        spec, snap = result.spec, result.snapshot
+        lines.append(
+            f"{spec.benchmark:<16} {spec.policy:<9} {spec.layout:<6} "
+            f"{spec.pf_size // 1024:>7} {snap.execution_time_ns:>14.1f} "
+            f"{snap.l2_misses:>9} {snap.pf_evictions:>9} "
+            f"{snap.local_fraction * 100:>6.1f}% {result.source:>9}"
+        )
+    return "\n".join(lines)
+
+
+def format_outcome_summary(outcome: SweepOutcome) -> str:
+    """One-line provenance summary of a sweep outcome."""
+    counts = outcome.counts_by_source()
+    return (
+        f"{len(outcome)} runs in {outcome.elapsed_s:.2f}s — "
+        f"{counts[SOURCE_EXECUTED]} executed, "
+        f"{counts[SOURCE_DISK]} from disk cache, "
+        f"{counts[SOURCE_MEMORY]} from memory "
+        f"({outcome.cached_fraction * 100:.0f}% cached)"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    settings = _settings_from_args(args)
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    plan = build_plan(args.plan, settings, benchmarks)
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    executor = SweepExecutor(workers=args.workers, cache_dir=cache_dir)
+
+    print(
+        f"plan {plan.name!r}: {len(plan)} runs, workers={executor.workers}, "
+        f"cache={'off' if cache_dir is None else cache_dir}"
+    )
+    outcome = executor.run_plan(plan)
+    print(format_outcome_table(outcome))
+    print(format_outcome_summary(outcome))
+
+    if args.min_cache_fraction is not None:
+        if outcome.cached_fraction < args.min_cache_fraction:
+            print(
+                f"error: cached fraction {outcome.cached_fraction:.2f} below "
+                f"required {args.min_cache_fraction:.2f}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_plans(args: argparse.Namespace) -> int:
+    settings = _settings_from_args(args)
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    for name in sorted(PLAN_BUILDERS):
+        plan = build_plan(name, settings, benchmarks)
+        print(f"{name:<8} {len(plan):>4} runs")
+    return 0
+
+
+def _cmd_version(_: argparse.Namespace) -> int:
+    print(version_string())
+    return 0
+
+
+def _add_settings_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmarks",
+        help="comma-separated benchmark subset (default: the paper's list)",
+    )
+    parser.add_argument(
+        "--accesses", type=int, help="compute accesses per 16-thread run"
+    )
+    parser.add_argument(
+        "--mp-accesses", type=int, help="accesses per copy in 2-process runs"
+    )
+    parser.add_argument("--scale", type=int, help="machine/footprint down-scale factor")
+    parser.add_argument("--seed", type=int, help="base workload seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Sweep engine for the ALLARM reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subparsers.add_parser("sweep", help="run a sweep plan")
+    sweep.add_argument(
+        "--plan",
+        choices=sorted(PLAN_BUILDERS),
+        default="fig3",
+        help="which figure grid to run (default: fig3)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for uncached runs (default: 1, serial)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        help="on-disk snapshot cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    sweep.add_argument(
+        "--min-cache-fraction",
+        type=float,
+        help="exit non-zero unless at least this fraction of runs was cached",
+    )
+    _add_settings_arguments(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    plans = subparsers.add_parser("plans", help="list named plans and sizes")
+    _add_settings_arguments(plans)
+    plans.set_defaults(func=_cmd_plans)
+
+    version = subparsers.add_parser("version", help="print the version banner")
+    version.set_defaults(func=_cmd_version)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,335 @@
+"""Sweep execution engine: process-pool fan-out plus an on-disk result cache.
+
+The engine runs :class:`~repro.analysis.plan.RunSpec`s and returns
+:class:`~repro.stats.snapshot.MachineSnapshot`s, resolving each run through
+three tiers:
+
+1. **In-memory cache** — within one process, repeated requests for the same
+   spec return the identical snapshot object (the contract the figure
+   generators rely on).
+2. **On-disk cache** — snapshots are serialized to JSON under a cache
+   directory, content-addressed by the spec's SHA-256 digest combined with
+   the library version and serialization schema, so repeated benchmark or
+   figure invocations across processes (and across pytest sessions) are
+   near-free.  Entries from older code versions simply miss.
+3. **Execution** — cache misses are simulated, either inline or fanned out
+   over a :class:`concurrent.futures.ProcessPoolExecutor`.  Workers receive
+   only the picklable spec and rebuild the workload stream deterministically
+   from it, so parallel results are bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.plan import RunSpec, SweepPlan
+from repro.stats.snapshot import SNAPSHOT_SCHEMA_VERSION, MachineSnapshot
+from repro.system.simulator import simulate
+from repro.version import __version__
+
+#: Bump to invalidate every on-disk cache entry written by older engines.
+CACHE_SCHEMA_VERSION = 1
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the package's source files, computed once per process.
+
+    Folding this into every cache key means *any* source edit — a latency
+    constant, a seed function, a protocol fix — silently invalidates old
+    snapshots, without requiring anyone to remember a manual version bump.
+    Sources unreadable (e.g. a frozen deployment) degrade to the library
+    version alone.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        try:
+            for path in sorted(package_root.rglob("*.py")):
+                digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+                digest.update(b"\0")
+                digest.update(path.read_bytes())
+                digest.update(b"\0")
+            _CODE_FINGERPRINT = digest.hexdigest()
+        except OSError:
+            _CODE_FINGERPRINT = "source-unavailable"
+    return _CODE_FINGERPRINT
+
+
+def execute_run_spec(spec: RunSpec) -> MachineSnapshot:
+    """Simulate one spec from scratch and return its snapshot.
+
+    Module-level (and therefore picklable) so it can be shipped to pool
+    workers; the spec rebuilds its machine configuration and access stream
+    deterministically on whatever process it lands.
+    """
+    result = simulate(spec.config(), spec.access_stream(), spec.workload_name)
+    return result.snapshot
+
+
+def _timed_execute(spec: RunSpec):
+    """Pool worker body: execute a spec and report its simulation time."""
+    started = time.perf_counter()
+    snapshot = execute_run_spec(spec)
+    return snapshot, time.perf_counter() - started
+
+
+def cache_key(spec: RunSpec) -> str:
+    """Content-addressed cache key: spec digest + code/schema versions."""
+    payload = "|".join(
+        (
+            spec.cache_token(),
+            f"lib={__version__}",
+            f"code={code_fingerprint()}",
+            f"cache_schema={CACHE_SCHEMA_VERSION}",
+            f"snapshot_schema={SNAPSHOT_SCHEMA_VERSION}",
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`SnapshotCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0
+
+
+class SnapshotCache:
+    """On-disk, content-addressed store of serialized machine snapshots.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` where *key* is
+    :func:`cache_key`'s SHA-256 hex digest.  Each file holds the snapshot
+    plus the originating spec description, so the cache directory is
+    self-describing.  Writes are atomic (temp file + ``os.replace``) so
+    concurrent executors never observe torn entries; corrupt or
+    stale-schema files are treated as misses.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def path_for(self, spec: RunSpec) -> Path:
+        """Return the file this spec's snapshot lives at (existing or not)."""
+        key = cache_key(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, spec: RunSpec) -> Optional[MachineSnapshot]:
+        """Return the cached snapshot for *spec*, or ``None`` on a miss."""
+        path = self.path_for(spec)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            data = json.loads(text)
+            snapshot = MachineSnapshot.from_dict(data["snapshot"])
+        except Exception:
+            # Corrupt, truncated or stale-schema entry: treat as a miss.
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return snapshot
+
+    def store(self, spec: RunSpec, snapshot: MachineSnapshot) -> Path:
+        """Atomically persist *snapshot* under *spec*'s key."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"spec": spec.describe(), "snapshot": snapshot.to_dict()},
+            sort_keys=True,
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        return path
+
+    def entry_count(self) -> int:
+        """Number of snapshot files currently in the cache."""
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+#: Where a sweep result came from.
+SOURCE_EXECUTED = "executed"
+SOURCE_MEMORY = "memory"
+SOURCE_DISK = "disk"
+
+
+@dataclass
+class SweepResult:
+    """One finished run of a plan: the spec, its snapshot and provenance."""
+
+    spec: RunSpec
+    snapshot: MachineSnapshot
+    source: str
+    duration_s: float = 0.0
+
+
+@dataclass
+class SweepOutcome:
+    """All results of one :meth:`SweepExecutor.run_plan` invocation."""
+
+    plan_name: str
+    results: List[SweepResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def counts_by_source(self) -> Dict[str, int]:
+        """How many runs were executed vs. served from each cache tier."""
+        counts = {SOURCE_EXECUTED: 0, SOURCE_MEMORY: 0, SOURCE_DISK: 0}
+        for result in self.results:
+            counts[result.source] = counts.get(result.source, 0) + 1
+        return counts
+
+    @property
+    def cached_fraction(self) -> float:
+        """Fraction of runs served without simulation."""
+        if not self.results:
+            return 0.0
+        counts = self.counts_by_source()
+        cached = counts[SOURCE_MEMORY] + counts[SOURCE_DISK]
+        return cached / len(self.results)
+
+
+class SweepExecutor:
+    """Runs specs and plans through the cache tiers and the process pool.
+
+    Parameters
+    ----------
+    workers:
+        Maximum worker processes for :meth:`run_plan`.  ``1`` (the
+        default) executes inline — no pool, no pickling — which is also
+        the fallback whenever a plan has at most one uncached run.
+    cache_dir:
+        Optional directory for the on-disk snapshot cache; ``None``
+        disables disk caching (the in-memory tier still applies).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.disk_cache = SnapshotCache(cache_dir) if cache_dir else None
+        self._memory: Dict[RunSpec, MachineSnapshot] = {}
+
+    # ------------------------------------------------------------------
+    # Single-spec path (used by the ExperimentRunner facade)
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> MachineSnapshot:
+        """Resolve one spec through memory -> disk -> execution."""
+        cached = self._resolve_cached(spec)
+        if cached is not None:
+            return cached[0]
+        snapshot = execute_run_spec(spec)
+        self._finish(spec, snapshot)
+        return snapshot
+
+    def _resolve_cached(self, spec: RunSpec):
+        """Probe the cache tiers; return ``(snapshot, source)`` or ``None``."""
+        snapshot = self._memory.get(spec)
+        if snapshot is not None:
+            return snapshot, SOURCE_MEMORY
+        if self.disk_cache is not None:
+            snapshot = self.disk_cache.load(spec)
+            if snapshot is not None:
+                self._memory[spec] = snapshot
+                return snapshot, SOURCE_DISK
+        return None
+
+    # ------------------------------------------------------------------
+    # Plan path (used by the sweep CLI and the benchmarks)
+    # ------------------------------------------------------------------
+    def run_plan(self, plan: SweepPlan) -> SweepOutcome:
+        """Run every spec of *plan*, fanning uncached runs over the pool.
+
+        Results come back in plan order regardless of which worker
+        finished first, and are bit-identical to a serial execution
+        because workers rebuild their workload streams from the spec.
+        """
+        started = time.perf_counter()
+        outcome = SweepOutcome(plan_name=plan.name)
+        resolved: Dict[RunSpec, SweepResult] = {}
+        pending: List[RunSpec] = []
+
+        for spec in plan:
+            if spec in resolved:
+                continue
+            cached = self._resolve_cached(spec)
+            if cached is not None:
+                resolved[spec] = SweepResult(spec, cached[0], cached[1])
+            else:
+                pending.append(spec)
+
+        for spec, snapshot, duration in self._execute_pending(pending):
+            self._finish(spec, snapshot)
+            resolved[spec] = SweepResult(spec, snapshot, SOURCE_EXECUTED, duration)
+
+        outcome.results = [resolved[spec] for spec in plan]
+        outcome.elapsed_s = time.perf_counter() - started
+        return outcome
+
+    # ------------------------------------------------------------------
+    def _execute_pending(self, pending: List[RunSpec]):
+        """Yield ``(spec, snapshot, duration_s)`` for every uncached run."""
+        if not pending:
+            return
+        if self.workers == 1 or len(pending) == 1:
+            for spec in pending:
+                started = time.perf_counter()
+                snapshot = execute_run_spec(spec)
+                yield spec, snapshot, time.perf_counter() - started
+            return
+
+        worker_count = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=worker_count) as pool:
+            for spec, (snapshot, duration) in zip(
+                pending, pool.map(_timed_execute, pending)
+            ):
+                yield spec, snapshot, duration
+
+    def _finish(self, spec: RunSpec, snapshot: MachineSnapshot) -> None:
+        self._memory[spec] = snapshot
+        if self.disk_cache is not None:
+            self.disk_cache.store(spec, snapshot)
+
+    # ------------------------------------------------------------------
+    def forget(self) -> None:
+        """Drop the in-memory tier (the disk cache, if any, is kept)."""
+        self._memory.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cache = self.disk_cache.root if self.disk_cache else None
+        return f"SweepExecutor(workers={self.workers}, cache_dir={cache})"

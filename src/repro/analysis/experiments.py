@@ -1,127 +1,83 @@
 """Experiment runners shared by the figures, examples and benchmarks.
 
 Every figure in the paper compares one or more *runs* of the simulator.
-This module provides the machinery to execute those runs reproducibly:
+Historically this module executed those runs itself; it is now a thin
+compatibility facade over the sweep engine:
 
-* :class:`ExperimentSettings` — the knobs shared across the whole harness
-  (down-scaling factor, access count, seeds), overridable from the
-  environment so the benchmark suite can be sped up or slowed down without
-  touching code (``REPRO_BENCH_ACCESSES``, ``REPRO_BENCH_SCALE``).
-* :func:`run_benchmark` — one benchmark under one policy / probe-filter
-  size, returning a :class:`~repro.stats.snapshot.MachineSnapshot`.
-* :func:`run_pair` — the baseline/ALLARM pair behind most figures.
-* :func:`run_multiprocess` — the two-process setup of Section III-B.
+* :mod:`repro.analysis.plan` — declarative, picklable
+  :class:`~repro.analysis.plan.RunSpec`s and the
+  :class:`~repro.analysis.plan.SweepPlan` grids behind the figures;
+* :mod:`repro.analysis.executor` — the
+  :class:`~repro.analysis.executor.SweepExecutor` with its process-pool
+  fan-out and content-addressed on-disk snapshot cache.
 
-Results are cached per-settings within a process so that benchmarks that
-share runs (for example Figures 3a–3g all reuse the same sixteen runs) do
-not repeat simulations.
+:class:`ExperimentRunner` keeps its historical API (``run_benchmark``,
+``run_pair``, ``run_multiprocess``) so figures, examples and benchmarks
+work unchanged, but every lookup now routes through one canonical
+``RunSpec`` key.  Results are cached in memory per executor; set
+``REPRO_CACHE_DIR`` (or pass an executor with a ``cache_dir``) to also
+persist snapshots across processes and sessions.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.stats.snapshot import MachineSnapshot
-from repro.system.config import DEFAULT_EXPERIMENT_SCALE, experiment_config
-from repro.system.simulator import simulate
-from repro.workloads.base import SyntheticWorkload
-from repro.workloads.multiprocess import build_multiprocess_spec, generate_multiprocess
-from repro.workloads.registry import build_spec
-
-#: Nominal probe-filter sizes swept by Figure 3h (bytes, paper units).
-FIG3H_PF_SIZES: Tuple[int, ...] = (512 * 1024, 256 * 1024, 128 * 1024)
-
-#: Nominal probe-filter sizes swept by Figure 4 (bytes, paper units).
-FIG4_PF_SIZES: Tuple[int, ...] = (
-    512 * 1024,
-    256 * 1024,
-    128 * 1024,
-    64 * 1024,
-    32 * 1024,
+from repro.analysis.executor import SweepExecutor, SweepOutcome
+from repro.analysis.plan import (
+    FIG3H_PF_SIZES,
+    FIG4_PF_SIZES,
+    ExperimentSettings,
+    RunSpec,
+    SweepPlan,
+    env_int,
+    seed_for,
 )
+from repro.stats.snapshot import MachineSnapshot
 
-
-def _env_int(name: str, default: int) -> int:
-    value = os.environ.get(name)
-    if value is None:
-        return default
-    try:
-        return int(value)
-    except ValueError:
-        return default
-
-
-@dataclass(frozen=True)
-class ExperimentSettings:
-    """Shared settings for the experiment harness.
-
-    Attributes
-    ----------
-    scale:
-        Common down-scaling factor applied to caches, probe filters and
-        workload footprints (see DESIGN.md §5).
-    accesses:
-        Compute-phase accesses per 16-thread run.
-    multiprocess_accesses:
-        Compute-phase accesses per copy in the two-process runs.
-    seed:
-        Base seed offset applied to every workload.
-    """
-
-    scale: int = DEFAULT_EXPERIMENT_SCALE
-    accesses: int = 20_000
-    multiprocess_accesses: int = 8_000
-    seed: int = 0
-
-    @classmethod
-    def from_environment(cls) -> "ExperimentSettings":
-        """Build settings honouring ``REPRO_BENCH_*`` environment overrides."""
-        return cls(
-            scale=_env_int("REPRO_BENCH_SCALE", DEFAULT_EXPERIMENT_SCALE),
-            accesses=_env_int("REPRO_BENCH_ACCESSES", 20_000),
-            multiprocess_accesses=_env_int("REPRO_BENCH_MP_ACCESSES", 8_000),
-            seed=_env_int("REPRO_BENCH_SEED", 0),
-        )
-
-    def quick(self, accesses: int = 12_000) -> "ExperimentSettings":
-        """A reduced copy for unit tests and smoke runs."""
-        return replace(
-            self, accesses=accesses, multiprocess_accesses=max(4_000, accesses // 3)
-        )
-
-
-@dataclass
-class RunKey:
-    """Cache key identifying one simulation run."""
-
-    benchmark: str
-    policy: str
-    pf_size: int
-    threads: str
-    settings: ExperimentSettings
-
-    def as_tuple(self) -> Tuple:
-        return (
-            self.benchmark,
-            self.policy,
-            self.pf_size,
-            self.threads,
-            self.settings,
-        )
+__all__ = [
+    "FIG3H_PF_SIZES",
+    "FIG4_PF_SIZES",
+    "ExperimentSettings",
+    "ExperimentRunner",
+    "RunSpec",
+    "SweepPlan",
+    "default_runner",
+    "reset_default_runner",
+    "seed_for",
+]
 
 
 class ExperimentRunner:
-    """Executes and caches the simulation runs behind the paper's figures."""
+    """Executes and caches the simulation runs behind the paper's figures.
 
-    def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
+    A facade over :class:`~repro.analysis.executor.SweepExecutor`: each
+    historical entry point builds the canonical
+    :class:`~repro.analysis.plan.RunSpec` and resolves it through the
+    executor's cache tiers.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        executor: Optional[SweepExecutor] = None,
+    ) -> None:
         self.settings = settings or ExperimentSettings.from_environment()
-        self._cache: Dict[Tuple, MachineSnapshot] = {}
+        if executor is None:
+            executor = SweepExecutor(
+                workers=env_int("REPRO_BENCH_WORKERS", 1),
+                cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+            )
+        self.executor = executor
 
     # ------------------------------------------------------------------
     # Single runs
     # ------------------------------------------------------------------
+    def run_spec(self, spec: RunSpec) -> MachineSnapshot:
+        """Run (or fetch from cache) one fully-specified run."""
+        return self.executor.run(spec)
+
     def run_benchmark(
         self,
         benchmark: str,
@@ -134,25 +90,16 @@ class ExperimentRunner:
         ``pf_size`` is the *nominal* (paper-units) probe-filter coverage;
         the harness scales it down together with the caches.
         """
-        key = (benchmark, policy, pf_size, "16t", frames_per_node, self.settings)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-
-        spec = build_spec(
-            benchmark,
-            total_accesses=self.settings.accesses,
-            seed=self._seed_for(benchmark),
-        ).with_footprint_scale(self.settings.scale)
-        config = experiment_config(
-            policy,
-            scale=self.settings.scale,
-            nominal_probe_filter_coverage=pf_size,
-            frames_per_node=frames_per_node,
+        return self.run_spec(
+            RunSpec(
+                benchmark=benchmark,
+                policy=policy,
+                pf_size=pf_size,
+                layout="16t",
+                frames_per_node=frames_per_node,
+                settings=self.settings,
+            )
         )
-        result = simulate(config, SyntheticWorkload(spec).generate(), benchmark)
-        self._cache[key] = result.snapshot
-        return result.snapshot
 
     def run_pair(
         self, benchmark: str, pf_size: int = 512 * 1024
@@ -170,37 +117,23 @@ class ExperimentRunner:
         frames_per_node: Optional[int] = None,
     ) -> MachineSnapshot:
         """Run the Section III-B two-process configuration."""
-        key = (benchmark, policy, pf_size, "2p", frames_per_node, self.settings)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-
-        mp_spec = build_multiprocess_spec(
-            benchmark,
-            total_accesses_per_copy=self.settings.multiprocess_accesses,
-            seed=self._seed_for(benchmark) + 1,
+        return self.run_spec(
+            RunSpec(
+                benchmark=benchmark,
+                policy=policy,
+                pf_size=pf_size,
+                layout="2p",
+                frames_per_node=frames_per_node,
+                settings=self.settings,
+            )
         )
-        scaled_copies = tuple(
-            copy.with_footprint_scale(self.settings.scale) for copy in mp_spec.copies
-        )
-        mp_spec = replace(mp_spec, copies=scaled_copies)
-        config = experiment_config(
-            policy,
-            scale=self.settings.scale,
-            nominal_probe_filter_coverage=pf_size,
-            frames_per_node=frames_per_node,
-        )
-        result = simulate(
-            config, generate_multiprocess(mp_spec), f"{benchmark}-2p"
-        )
-        self._cache[key] = result.snapshot
-        return result.snapshot
 
     # ------------------------------------------------------------------
-    def _seed_for(self, benchmark: str) -> int:
-        # Stable per-benchmark seeds, perturbed by the settings seed so a
-        # different REPRO_BENCH_SEED reruns everything with fresh streams.
-        return self.settings.seed * 1000 + sum(ord(c) for c in benchmark)
+    # Whole plans
+    # ------------------------------------------------------------------
+    def run_plan(self, plan: SweepPlan) -> SweepOutcome:
+        """Run every spec of a plan (parallel when the executor allows)."""
+        return self.executor.run_plan(plan)
 
 
 #: Default module-level runner shared by figures and benchmarks so that

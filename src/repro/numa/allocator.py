@@ -155,6 +155,14 @@ class NumaAllocator:
         self.page_tables: Dict[int, PageTable] = {}
         self.stats = AllocatorStats()
         self._next_touch_pending: Set[Tuple[int, int]] = set()
+        self._page_size = address_map.page_size
+        # Memoized translations: (process_id, virtual_page) -> (frame base
+        # address, mapping, page-table stats).  This is the access-path
+        # fast lane: once a page is mapped and not pending next-touch
+        # re-homing, its translation is a single dict probe instead of a
+        # page-table walk.  The mapping/stats objects ride along so the
+        # fast path maintains the exact same counters as the slow path.
+        self._translation_cache: Dict[Tuple[int, int], Tuple[int, object, object]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -163,9 +171,17 @@ class NumaAllocator:
         """Return (creating if needed) the page table of *process_id*."""
         table = self.page_tables.get(process_id)
         if table is None:
-            table = PageTable(process_id, self.address_map.page_size)
+            table = PageTable(
+                process_id,
+                self.address_map.page_size,
+                on_invalidate=self._invalidate_translation,
+            )
             self.page_tables[process_id] = table
         return table
+
+    def _invalidate_translation(self, process_id: int, vpage: int) -> None:
+        """Drop a memoized translation when its mapping changes or dies."""
+        self._translation_cache.pop((process_id, vpage), None)
 
     def node_of_core(self, core: int) -> int:
         """Return the NUMA node (affinity domain) of *core*."""
@@ -176,9 +192,25 @@ class NumaAllocator:
 
     def translate(self, process_id: int, core: int, vaddr: int) -> int:
         """Translate a virtual address, allocating the page on first touch."""
-        page_size = self.address_map.page_size
+        page_size = self._page_size
         vpage = vaddr // page_size
-        offset = vaddr % page_size
+        entry = self._translation_cache.get((process_id, vpage))
+        if entry is not None:
+            # Same affinity check the slow path performs via node_of_core:
+            # a core outside the machine must fail even on a warm page.
+            if core not in self.core_to_node:
+                raise ConfigurationError(f"core {core} has no affinity domain")
+            frame_base, mapping, table_stats = entry
+            table_stats.lookups += 1
+            mapping.touches += 1
+            return frame_base + (vaddr - vpage * page_size)
+        return self._translate_slow(process_id, core, vaddr, vpage)
+
+    def _translate_slow(
+        self, process_id: int, core: int, vaddr: int, vpage: int
+    ) -> int:
+        """Page-table walk: first touches, next-touch re-homing, memo fill."""
+        offset = vaddr % self._page_size
         table = self.page_table(process_id)
         mapping = table.lookup(vpage)
         toucher_node = self.node_of_core(core)
@@ -188,7 +220,14 @@ class NumaAllocator:
         elif (process_id, vpage) in self._next_touch_pending:
             mapping = self._apply_next_touch(table, vpage, toucher_node)
 
-        return self.address_map.frame_base(mapping.physical_frame) + offset
+        frame_base = self.address_map.frame_base(mapping.physical_frame)
+        if (process_id, vpage) not in self._next_touch_pending:
+            self._translation_cache[(process_id, vpage)] = (
+                frame_base,
+                mapping,
+                table.stats,
+            )
+        return frame_base + offset
 
     def home_node(self, paddr: int) -> int:
         """Return the directory responsible for a physical address."""
@@ -206,6 +245,9 @@ class NumaAllocator:
         count = 0
         for vpage in virtual_pages:
             self._next_touch_pending.add((process_id, vpage))
+            # The page may be re-homed on its next touch, so its memoized
+            # translation (if any) must not be served meanwhile.
+            self._translation_cache.pop((process_id, vpage), None)
             count += 1
         return count
 

@@ -11,7 +11,7 @@ figures reason about where data ended up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.errors import AddressError
 
@@ -41,11 +41,20 @@ class PageTableStats:
 class PageTable:
     """Virtual-to-physical mapping for a single simulated process."""
 
-    def __init__(self, process_id: int = 0, page_size: int = 4096) -> None:
+    def __init__(
+        self,
+        process_id: int = 0,
+        page_size: int = 4096,
+        on_invalidate: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
         self.process_id = process_id
         self.page_size = page_size
         self.stats = PageTableStats()
         self._mappings: Dict[int, PageMapping] = {}
+        #: Called with (process_id, virtual_page) whenever an existing
+        #: mapping changes or disappears, so translation caches layered
+        #: above (the NUMA allocator's memo) can drop stale entries.
+        self._on_invalidate = on_invalidate
 
     # ------------------------------------------------------------------
     def is_mapped(self, virtual_page: int) -> bool:
@@ -94,6 +103,8 @@ class PageTable:
         mapping.node = node
         mapping.migrations += 1
         self.stats.migrations += 1
+        if self._on_invalidate is not None:
+            self._on_invalidate(self.process_id, virtual_page)
         return mapping
 
     def unmap(self, virtual_page: int) -> PageMapping:
@@ -101,6 +112,8 @@ class PageTable:
         mapping = self._mappings.pop(virtual_page, None)
         if mapping is None:
             raise AddressError(f"virtual page {virtual_page} is not mapped")
+        if self._on_invalidate is not None:
+            self._on_invalidate(self.process_id, virtual_page)
         return mapping
 
     # ------------------------------------------------------------------

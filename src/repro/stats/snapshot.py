@@ -9,8 +9,15 @@ latency-hiding fraction, and the event counts the energy models consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List
+
+from repro.errors import SimulationError
+
+#: Version of the serialized snapshot layout.  Bump when fields change so
+#: that stale on-disk cache entries are rejected instead of misparsed.
+SNAPSHOT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -36,6 +43,21 @@ class NodeSnapshot:
     invalidations_sent: int
     dram_reads: int
     dram_writes: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to a plain dictionary (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "NodeSnapshot":
+        """Rebuild a node snapshot from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(
+                f"unknown node-snapshot fields {sorted(unknown)}"
+            )
+        return cls(**data)
 
 
 @dataclass
@@ -124,6 +146,53 @@ class MachineSnapshot:
             "dram_reads": self.dram_reads,
             "dram_writes": self.dram_writes,
         }
+
+    # ------------------------------------------------------------------
+    # Serialisation (used by the on-disk snapshot cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise the full snapshot — every field — to a plain dict.
+
+        Unlike :meth:`as_dict` (headline metrics for reports), this is a
+        lossless representation: ``from_dict(to_dict(s))`` compares equal
+        to ``s`` field for field, including per-node statistics.
+        """
+        data: Dict[str, object] = {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        }
+        for f in fields(self):
+            if f.name == "nodes":
+                continue
+            data[f.name] = getattr(self, f.name)
+        data["messages_by_type"] = dict(self.messages_by_type)
+        data["nodes"] = [node.to_dict() for node in self.nodes]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MachineSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        data = dict(data)
+        version = data.pop("schema_version", None)
+        if version != SNAPSHOT_SCHEMA_VERSION:
+            raise SimulationError(
+                f"snapshot schema {version!r} does not match "
+                f"{SNAPSHOT_SCHEMA_VERSION}"
+            )
+        nodes = [NodeSnapshot.from_dict(n) for n in data.pop("nodes", [])]
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(f"unknown snapshot fields {sorted(unknown)}")
+        return cls(nodes=nodes, **data)
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise to a JSON string (lossless round trip)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MachineSnapshot":
+        """Rebuild a snapshot from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
 
 
 def collect(machine, policy_name: str = "") -> MachineSnapshot:

@@ -62,6 +62,14 @@ class Machine:
             self._build_node(node_id) for node_id in range(config.node_count)
         ]
         self.transactions_serviced = 0
+        # Hot-path bindings: perform_access runs once per simulated memory
+        # reference (millions per sweep run), so the constants and bound
+        # methods it needs are hoisted here instead of being re-resolved
+        # through the config object on every access.
+        self._translate = self.allocator.translate
+        self._line_mask = ~(config.line_size - 1)
+        self._bytes_per_node = self.address_map.bytes_per_node
+        self._cache_latency = config.core.cache_access_latency_ns
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -164,19 +172,39 @@ class Machine:
         upgrade a coherence transaction is issued to the home directory.
         Cache fills and any resulting L2 evictions (with their directory
         notifications) are applied before returning.
+
+        This method is the simulator's innermost loop: the body up to the
+        hit return touches only locals and pre-bound attributes, and the
+        coherence machinery lives behind :meth:`_service_miss` so that the
+        hit-dominated common case pays none of its setup cost.
         """
-        node = self.node(core)
-        paddr = self.allocator.translate(process_id, core, vaddr)
-        line_paddr = self.address_map.line_address(paddr)
-        cache_latency = self.config.core.cache_access_latency_ns
+        nodes = self.nodes
+        if core < 0 or core >= len(nodes):
+            raise ConfigurationError(
+                f"core {core} out of range for a {len(nodes)}-core machine"
+            )
+        node = nodes[core]
+        paddr = self._translate(process_id, core, vaddr)
+        line_paddr = paddr & self._line_mask
 
         result = node.caches.access(line_paddr, is_write, is_instruction)
         node.clock.memory_accesses += 1
-        if result.is_hit:
-            return cache_latency
+        if not result.needs_coherence:
+            return self._cache_latency
+        return self._service_miss(node, core, line_paddr, is_write, is_instruction, result)
 
+    def _service_miss(
+        self,
+        node: Node,
+        core: int,
+        line_paddr: int,
+        is_write: bool,
+        is_instruction: bool,
+        result,
+    ) -> float:
+        """Coherence slow path: directory transaction, fill and evictions."""
         kind = RequestKind.WRITE if is_write else RequestKind.READ
-        home = self.home_directory(line_paddr)
+        home = self.nodes[line_paddr // self._bytes_per_node].directory
         outcome = home.service_request(core, line_paddr, kind)
         self.transactions_serviced += 1
 
@@ -190,9 +218,10 @@ class Machine:
             evicted = node.caches.fill(
                 line_paddr, outcome.fill_state, is_instruction
             )
-            self._handle_evictions(core, evicted)
+            if evicted:
+                self._handle_evictions(core, evicted)
 
-        return cache_latency + outcome.transaction.latency_ns
+        return self._cache_latency + outcome.transaction.latency_ns
 
     def _handle_evictions(self, core: int, evicted: List[EvictedLine]) -> None:
         mode = self.config.directory.eviction_notification

@@ -19,7 +19,7 @@ from repro.errors import SimulationError
 from repro.stats.snapshot import MachineSnapshot, collect
 from repro.system.config import SystemConfig
 from repro.system.machine import Machine
-from repro.trace.record import AccessRecord
+from repro.trace.record import AccessRecord, AccessType
 
 
 @dataclass
@@ -72,12 +72,39 @@ class Simulator:
         if self._finished:
             raise SimulationError("simulator instances are single-use; build a new one")
 
+        # Replay loop: every per-record attribute chain is hoisted into a
+        # local so the loop body is dict-free.  This loop plus the
+        # machine's access fast path dominate sweep wall-clock time.
         work_per_access = self.config.core.cpu_work_per_access_ns
+        core_count = self.config.core_count
+        nodes = self.machine.nodes
+        perform_access = self.machine.perform_access
+        write_type = AccessType.WRITE
+        instruction_type = AccessType.INSTRUCTION
+        remaining = float("inf") if max_accesses is None else max_accesses
         count = 0
         for record in accesses:
-            if max_accesses is not None and count >= max_accesses:
+            if count >= remaining:
                 break
-            self._dispatch(record, work_per_access)
+            core = record.core
+            if core >= core_count:
+                raise SimulationError(
+                    f"trace references core {core} but the machine has "
+                    f"{core_count} cores"
+                )
+            clock = nodes[core].clock
+            clock.instructions += 1
+            clock.now_ns += work_per_access
+            access_type = record.access_type
+            latency = perform_access(
+                core,
+                record.process_id,
+                record.vaddr,
+                access_type is write_type,
+                access_type is instruction_type,
+            )
+            clock.now_ns += latency
+            clock.stall_ns += latency
             count += 1
 
         self._finished = True
@@ -88,26 +115,6 @@ class Simulator:
             accesses_simulated=count,
             workload_name=workload_name,
         )
-
-    # ------------------------------------------------------------------
-    def _dispatch(self, record: AccessRecord, work_per_access: float) -> None:
-        if record.core >= self.config.core_count:
-            raise SimulationError(
-                f"trace references core {record.core} but the machine has "
-                f"{self.config.core_count} cores"
-            )
-        node = self.machine.node(record.core)
-        node.clock.instructions += 1
-        node.clock.advance(work_per_access)
-        latency = self.machine.perform_access(
-            core=record.core,
-            process_id=record.process_id,
-            vaddr=record.vaddr,
-            is_write=record.is_write,
-            is_instruction=record.is_instruction,
-        )
-        node.clock.stall(latency)
-
 
 def simulate(
     config: SystemConfig,

@@ -177,8 +177,43 @@ class TestNumaAllocator:
         with pytest.raises(ConfigurationError):
             allocator.translate(0, 99, 0x1000)
 
+    def test_unknown_core_rejected_on_memoized_page(self):
+        allocator = NumaAllocator(small_map())
+        allocator.translate(0, 0, 0x1000)  # warms the memo for page 1
+        with pytest.raises(ConfigurationError):
+            allocator.translate(0, 99, 0x1000)
+
     def test_pages_on_node_accounting(self):
         allocator = NumaAllocator(small_map())
         for page in range(3):
             allocator.translate(0, 1, page * 4096)
         assert allocator.pages_on_node(1) == 3
+
+    def test_memoized_translation_counts_like_a_walk(self):
+        allocator = NumaAllocator(small_map())
+        for _ in range(3):
+            allocator.translate(0, 0, 0x5000)
+        table = allocator.page_table(0)
+        assert table.stats.lookups == 3
+        # First translate is a fault (no touch), the two memoized repeats
+        # count one touch each, and this lookup adds the third.
+        assert table.lookup(5).touches == 3
+
+    def test_remap_invalidates_memoized_translation(self):
+        allocator = NumaAllocator(small_map())
+        before = allocator.translate(0, 0, 0x5000)  # memoizes page 5
+        new_frame = allocator.frames.allocate_on(1)
+        allocator.page_table(0).remap_page(5, new_frame, 1)
+        after = allocator.translate(0, 0, 0x5000)
+        assert after != before
+        assert allocator.home_node(after) == 1
+
+    def test_unmap_invalidates_memoized_translation(self):
+        allocator = NumaAllocator(small_map())
+        first = allocator.translate(0, 0, 0x5000)
+        allocator.page_table(0).unmap(5)
+        # The page is gone; the next touch must re-allocate (possibly the
+        # same frame) rather than silently serving the stale translation.
+        second = allocator.translate(0, 2, 0x5000)
+        assert allocator.page_table(0).lookup(5).first_toucher == 2
+        assert allocator.home_node(second) == 2
