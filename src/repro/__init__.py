@@ -43,10 +43,14 @@ from repro.system.config import (
 )
 from repro.system.machine import Machine
 from repro.system.simulator import SimulationResult, Simulator, simulate
+from repro.coherence.invariants import check_machine_invariants
+from repro.trace.io import count_records, read_trace, sniff_format, write_trace
 from repro.trace.record import AccessRecord, AccessType
 from repro.version import __version__, version_string
 from repro.workloads.registry import (
+    MICROBENCH_FAMILIES,
     PAPER_BENCHMARKS,
+    all_benchmark_names,
     benchmark_names,
     build_spec,
     build_workload,
@@ -77,11 +81,19 @@ __all__ = [
     "PhysicalRange",
     # workloads and traces
     "PAPER_BENCHMARKS",
+    "MICROBENCH_FAMILIES",
+    "all_benchmark_names",
     "benchmark_names",
     "build_spec",
     "build_workload",
     "AccessRecord",
     "AccessType",
+    "read_trace",
+    "write_trace",
+    "count_records",
+    "sniff_format",
+    # coherence validation
+    "check_machine_invariants",
     # statistics and energy
     "MachineSnapshot",
     "collect",

@@ -3,10 +3,19 @@
 Commands
 --------
 ``sweep``
-    Run a named sweep plan (``fig3``, ``fig3h``, ``fig4`` or ``all``)
-    through the :class:`~repro.analysis.executor.SweepExecutor`, optionally
-    fanning runs out over worker processes and caching snapshots on disk,
-    and print a per-run result table.
+    Run a named sweep plan (``fig3``, ``fig3h``, ``fig4``, ``micro`` or
+    ``all``) through the :class:`~repro.analysis.executor.SweepExecutor`,
+    optionally fanning runs out over worker processes, caching snapshots
+    on disk and replaying recorded traces, and print a per-run result
+    table.
+``trace record``
+    Capture the workload streams of a plan as binary v2 traces, one file
+    per distinct stream.
+``trace replay``
+    Replay one trace file against a configurable machine and print the
+    run's headline statistics.
+``trace info``
+    Summarise a trace file (format, records, size, access mix).
 ``plans``
     List the named plans and how many runs each contains at the current
     settings.
@@ -18,7 +27,10 @@ Examples
 ::
 
     python -m repro sweep --plan fig3 --workers 4 --cache-dir .repro-cache
-    python -m repro sweep --plan fig4 --benchmarks barnes,cholesky
+    python -m repro sweep --plan fig3 --trace-dir .repro-traces --record-traces
+    python -m repro trace record --plan micro --trace-dir .repro-traces
+    python -m repro trace replay .repro-traces/<digest>.rpt2 --policy allarm
+    python -m repro trace info .repro-traces/<digest>.rpt2
     python -m repro plans
 """
 
@@ -27,14 +39,18 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis.executor import (
     SOURCE_DISK,
     SOURCE_EXECUTED,
     SOURCE_MEMORY,
+    SOURCE_REPLAYED,
     SweepExecutor,
     SweepOutcome,
+    record_spec_trace,
+    trace_file_name,
 )
 from repro.analysis.plan import (
     PLAN_BUILDERS,
@@ -94,6 +110,7 @@ def format_outcome_summary(outcome: SweepOutcome) -> str:
     return (
         f"{len(outcome)} runs in {outcome.elapsed_s:.2f}s — "
         f"{counts[SOURCE_EXECUTED]} executed, "
+        f"{counts[SOURCE_REPLAYED]} replayed from traces, "
         f"{counts[SOURCE_DISK]} from disk cache, "
         f"{counts[SOURCE_MEMORY]} from memory "
         f"({outcome.cached_fraction * 100:.0f}% cached)"
@@ -105,11 +122,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     benchmarks = _parse_benchmarks(args.benchmarks)
     plan = build_plan(args.plan, settings, benchmarks)
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
-    executor = SweepExecutor(workers=args.workers, cache_dir=cache_dir)
+    executor = SweepExecutor(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        trace_dir=args.trace_dir,
+        record_traces=args.record_traces,
+    )
 
     print(
         f"plan {plan.name!r}: {len(plan)} runs, workers={executor.workers}, "
-        f"cache={'off' if cache_dir is None else cache_dir}"
+        f"cache={'off' if cache_dir is None else cache_dir}, "
+        f"traces={'off' if args.trace_dir is None else args.trace_dir}"
     )
     outcome = executor.run_plan(plan)
     print(format_outcome_table(outcome))
@@ -123,6 +146,91 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 1
+    return 0
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    settings = _settings_from_args(args)
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    plan = build_plan(args.plan, settings, benchmarks)
+    trace_dir = Path(args.trace_dir)
+
+    # Many specs share one workload stream (the policy/filter-size grid
+    # varies the machine, not the workload); record each stream once.
+    streams = {}
+    for spec in plan:
+        streams.setdefault(spec.stream_digest(), spec)
+
+    print(
+        f"plan {plan.name!r}: {len(plan)} runs over {len(streams)} distinct "
+        f"workload streams -> {trace_dir}"
+    )
+    header = f"{'workload':<20} {'records':>9} {'bytes':>10} {'B/rec':>6}  file"
+    print(header)
+    print("-" * len(header))
+    recorded = skipped = 0
+    for _digest, spec in sorted(streams.items()):
+        path = trace_dir / trace_file_name(spec)
+        if path.exists() and not args.force:
+            skipped += 1
+            continue
+        count = record_spec_trace(spec, path)
+        size = path.stat().st_size
+        print(
+            f"{spec.workload_name:<20} {count:>9} {size:>10} "
+            f"{size / max(1, count):>6.2f}  {path.name}"
+        )
+        recorded += 1
+    print(f"{recorded} streams recorded, {skipped} already present")
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.system.config import experiment_config
+    from repro.system.simulator import simulate
+    from repro.trace.io import read_trace
+
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    config = experiment_config(
+        args.policy,
+        nominal_probe_filter_coverage=args.pf_size,
+        **overrides,
+    )
+    started = time.perf_counter()
+    result = simulate(
+        config,
+        read_trace(args.path),
+        workload_name=args.label or args.path,
+        max_accesses=args.max_accesses,
+    )
+    elapsed = time.perf_counter() - started
+    rate = result.accesses_simulated / elapsed if elapsed > 0 else 0.0
+    print(
+        f"replayed {result.accesses_simulated} accesses in {elapsed:.2f}s "
+        f"({rate:,.0f}/s) under policy {args.policy!r}"
+    )
+    for key, value in result.snapshot.as_dict().items():
+        print(f"  {key:<24} {value}")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.trace.binary import inspect_trace
+
+    info = inspect_trace(args.path)
+    print(f"{info.path}: {info.format} trace")
+    print(f"  records        {info.records}")
+    print(f"  file bytes     {info.file_bytes}")
+    print(f"  bytes/record   {info.bytes_per_record:.2f}")
+    print(f"  reads          {info.reads}")
+    print(f"  writes         {info.writes}")
+    print(f"  instructions   {info.instructions}")
+    print(f"  cores          {info.core_count}")
+    print(f"  processes      {info.process_count}")
     return 0
 
 
@@ -184,8 +292,69 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         help="exit non-zero unless at least this fraction of runs was cached",
     )
+    sweep.add_argument(
+        "--trace-dir",
+        help="directory of recorded traces to replay runs from (see 'trace record')",
+    )
+    sweep.add_argument(
+        "--record-traces",
+        action="store_true",
+        help="with --trace-dir: capture any missing workload trace before running",
+    )
     _add_settings_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    trace = subparsers.add_parser("trace", help="record, replay and inspect traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record", help="capture a plan's workload streams as binary traces"
+    )
+    record.add_argument(
+        "--plan",
+        choices=sorted(PLAN_BUILDERS),
+        default="fig3",
+        help="plan whose workload streams to record (default: fig3)",
+    )
+    record.add_argument(
+        "--trace-dir", required=True, help="directory to write traces into"
+    )
+    record.add_argument(
+        "--force", action="store_true", help="re-record streams already on disk"
+    )
+    _add_settings_arguments(record)
+    record.set_defaults(func=_cmd_trace_record)
+
+    replay = trace_sub.add_parser(
+        "replay", help="replay one trace file and print run statistics"
+    )
+    replay.add_argument("path", help="trace file (text v1 or binary v2)")
+    replay.add_argument(
+        "--policy",
+        choices=("baseline", "allarm"),
+        default="baseline",
+        help="directory policy to replay under (default: baseline)",
+    )
+    replay.add_argument(
+        "--pf-size",
+        type=int,
+        default=512 * 1024,
+        help="nominal probe-filter coverage in bytes (default: 512 kB)",
+    )
+    replay.add_argument(
+        "--scale",
+        type=int,
+        help="machine down-scale factor (default: the harness-wide default)",
+    )
+    replay.add_argument("--label", help="workload label recorded in the result")
+    replay.add_argument(
+        "--max-accesses", type=int, help="replay at most this many records"
+    )
+    replay.set_defaults(func=_cmd_trace_replay)
+
+    info = trace_sub.add_parser("info", help="summarise a trace file")
+    info.add_argument("path", help="trace file (text v1 or binary v2)")
+    info.set_defaults(func=_cmd_trace_info)
 
     plans = subparsers.add_parser("plans", help="list named plans and sizes")
     _add_settings_arguments(plans)

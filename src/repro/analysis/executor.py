@@ -16,6 +16,15 @@ three tiers:
    over a :class:`concurrent.futures.ProcessPoolExecutor`.  Workers receive
    only the picklable spec and rebuild the workload stream deterministically
    from it, so parallel results are bit-identical to serial ones.
+
+When a ``trace_dir`` is configured, execution replays recorded binary
+traces (:mod:`repro.trace.binary`) instead of regenerating streams:
+specs whose workload stream has been captured (one trace per distinct
+stream — every policy/filter-size variant of a workload shares it) are
+executed via :meth:`~repro.analysis.plan.RunSpec.with_trace`, which is
+bit-identical to generation but skips the generator's RNG work.  With
+``record_traces`` enabled, missing traces are captured on first use, in
+the parent process so that pool workers never race to write one file.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from typing import Dict, List, Optional, Union
 from repro.analysis.plan import RunSpec, SweepPlan
 from repro.stats.snapshot import SNAPSHOT_SCHEMA_VERSION, MachineSnapshot
 from repro.system.simulator import simulate
+from repro.trace.binary import write_trace_v2
 from repro.version import __version__
 
 #: Bump to invalidate every on-disk cache entry written by older engines.
@@ -82,6 +92,29 @@ def _timed_execute(spec: RunSpec):
     started = time.perf_counter()
     snapshot = execute_run_spec(spec)
     return snapshot, time.perf_counter() - started
+
+
+def trace_file_name(spec: RunSpec) -> str:
+    """File name of *spec*'s recorded workload stream in a trace directory.
+
+    Combines the stream digest (shared by every policy/filter-size
+    variant of one workload) with the code fingerprint, so any source
+    edit — a generator tweak, a seed change — silently retires old
+    recordings instead of replaying streams the current code would no
+    longer produce (which would poison the snapshot cache under the new
+    code's identity).
+    """
+    return f"{spec.stream_digest()}-{code_fingerprint()[:12]}.rpt2"
+
+
+def record_spec_trace(spec: RunSpec, path: Union[str, Path]) -> int:
+    """Capture *spec*'s workload stream as a binary v2 trace at *path*.
+
+    Returns the number of records written.  The write is atomic, so a
+    reader (or a concurrent recorder of the same stream) never sees a
+    partial trace.
+    """
+    return write_trace_v2(path, spec.access_stream())
 
 
 def cache_key(spec: RunSpec) -> str:
@@ -180,6 +213,7 @@ class SnapshotCache:
 
 #: Where a sweep result came from.
 SOURCE_EXECUTED = "executed"
+SOURCE_REPLAYED = "replayed"
 SOURCE_MEMORY = "memory"
 SOURCE_DISK = "disk"
 
@@ -207,7 +241,12 @@ class SweepOutcome:
 
     def counts_by_source(self) -> Dict[str, int]:
         """How many runs were executed vs. served from each cache tier."""
-        counts = {SOURCE_EXECUTED: 0, SOURCE_MEMORY: 0, SOURCE_DISK: 0}
+        counts = {
+            SOURCE_EXECUTED: 0,
+            SOURCE_REPLAYED: 0,
+            SOURCE_MEMORY: 0,
+            SOURCE_DISK: 0,
+        }
         for result in self.results:
             counts[result.source] = counts.get(result.source, 0) + 1
         return counts
@@ -234,15 +273,30 @@ class SweepExecutor:
     cache_dir:
         Optional directory for the on-disk snapshot cache; ``None``
         disables disk caching (the in-memory tier still applies).
+    trace_dir:
+        Optional directory of recorded binary traces, one per distinct
+        workload stream, named by
+        :meth:`~repro.analysis.plan.RunSpec.stream_digest`.  Specs whose
+        trace exists are replayed from it instead of regenerating the
+        stream; snapshots are bit-identical either way, so results are
+        cached under the original (generated) spec identity.
+    record_traces:
+        With a ``trace_dir``, capture the trace of any spec whose stream
+        is not yet recorded before executing it (recording happens in
+        the parent process, so pool workers never race on one file).
     """
 
     def __init__(
         self,
         workers: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
+        record_traces: bool = False,
     ) -> None:
         self.workers = max(1, int(workers))
         self.disk_cache = SnapshotCache(cache_dir) if cache_dir else None
+        self.trace_dir = Path(trace_dir) if trace_dir else None
+        self.record_traces = bool(record_traces)
         self._memory: Dict[RunSpec, MachineSnapshot] = {}
 
     # ------------------------------------------------------------------
@@ -253,9 +307,36 @@ class SweepExecutor:
         cached = self._resolve_cached(spec)
         if cached is not None:
             return cached[0]
-        snapshot = execute_run_spec(spec)
+        snapshot = execute_run_spec(self._effective_spec(spec))
         self._finish(spec, snapshot)
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def trace_path_for(self, spec: RunSpec) -> Optional[Path]:
+        """Where this spec's workload stream is (or would be) recorded."""
+        if self.trace_dir is None:
+            return None
+        return self.trace_dir / trace_file_name(spec)
+
+    def _effective_spec(self, spec: RunSpec) -> RunSpec:
+        """Return the spec to actually execute: as-is, or trace-replayed.
+
+        Specs that already carry a trace source are passed through; for
+        the rest, an available recorded trace (captured on demand when
+        ``record_traces`` is set) turns the run into a replay.
+        """
+        if spec.trace_source is not None:
+            return spec
+        path = self.trace_path_for(spec)
+        if path is None:
+            return spec
+        if not path.exists():
+            if not self.record_traces:
+                return spec
+            record_spec_trace(spec, path)
+        return spec.with_trace(path)
 
     def _resolve_cached(self, spec: RunSpec):
         """Probe the cache tiers; return ``(snapshot, source)`` or ``None``."""
@@ -293,9 +374,9 @@ class SweepExecutor:
             else:
                 pending.append(spec)
 
-        for spec, snapshot, duration in self._execute_pending(pending):
+        for spec, snapshot, source, duration in self._execute_pending(pending):
             self._finish(spec, snapshot)
-            resolved[spec] = SweepResult(spec, snapshot, SOURCE_EXECUTED, duration)
+            resolved[spec] = SweepResult(spec, snapshot, source, duration)
 
         outcome.results = [resolved[spec] for spec in plan]
         outcome.elapsed_s = time.perf_counter() - started
@@ -303,22 +384,32 @@ class SweepExecutor:
 
     # ------------------------------------------------------------------
     def _execute_pending(self, pending: List[RunSpec]):
-        """Yield ``(spec, snapshot, duration_s)`` for every uncached run."""
+        """Yield ``(spec, snapshot, source, duration_s)`` per uncached run.
+
+        Results are keyed by the *original* spec even when execution
+        replays a recorded trace: the snapshot is bit-identical, and the
+        caches must serve future generated runs of the same spec.
+        """
         if not pending:
             return
+        effective = [self._effective_spec(spec) for spec in pending]
+        sources = [
+            SOURCE_EXECUTED if spec is run_as else SOURCE_REPLAYED
+            for spec, run_as in zip(pending, effective)
+        ]
         if self.workers == 1 or len(pending) == 1:
-            for spec in pending:
+            for spec, run_as, source in zip(pending, effective, sources):
                 started = time.perf_counter()
-                snapshot = execute_run_spec(spec)
-                yield spec, snapshot, time.perf_counter() - started
+                snapshot = execute_run_spec(run_as)
+                yield spec, snapshot, source, time.perf_counter() - started
             return
 
         worker_count = min(self.workers, len(pending))
         with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            for spec, (snapshot, duration) in zip(
-                pending, pool.map(_timed_execute, pending)
+            for spec, source, (snapshot, duration) in zip(
+                pending, sources, pool.map(_timed_execute, effective)
             ):
-                yield spec, snapshot, duration
+                yield spec, snapshot, source, duration
 
     def _finish(self, spec: RunSpec, snapshot: MachineSnapshot) -> None:
         self._memory[spec] = snapshot

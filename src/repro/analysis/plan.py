@@ -29,10 +29,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.system.config import DEFAULT_EXPERIMENT_SCALE, SystemConfig, experiment_config
+from repro.trace.io import read_trace
 from repro.trace.record import AccessRecord
 from repro.workloads.base import SyntheticWorkload
 from repro.workloads.multiprocess import build_multiprocess_spec, generate_multiprocess
 from repro.workloads.registry import (
+    MICROBENCH_FAMILIES,
     MULTIPROCESS_BENCHMARKS,
     PAPER_BENCHMARKS,
     build_spec,
@@ -128,6 +130,16 @@ class RunSpec:
     Two equal specs always produce bit-identical snapshots, which is what
     lets the executor fan runs out across processes and cache their
     results on disk.
+
+    ``trace_source`` optionally points the spec at a recorded trace file:
+    the run then replays that trace instead of regenerating the stream.
+    A correctly recorded trace (see
+    :meth:`~repro.analysis.executor.SweepExecutor`'s ``trace_dir``) holds
+    exactly the stream the spec would generate, so the snapshot is
+    bit-identical either way — replay is purely an execution strategy,
+    but it is kept in the spec (and hence in the cache identity) so a
+    hand-substituted foreign trace can never alias a generated run's
+    cache entry.
     """
 
     benchmark: str
@@ -136,6 +148,7 @@ class RunSpec:
     layout: str = "16t"
     frames_per_node: Optional[int] = None
     settings: ExperimentSettings = field(default_factory=ExperimentSettings)
+    trace_source: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Fail at spec construction (plan-build time), not minutes into a
@@ -170,6 +183,34 @@ class RunSpec:
         base = seed_for(self.benchmark, self.settings.seed)
         return base if self.layout == "16t" else base + 1
 
+    def with_trace(self, path) -> "RunSpec":
+        """Return a copy that replays the trace at *path* when executed."""
+        return replace(self, trace_source=str(path))
+
+    def stream_token(self) -> str:
+        """Canonical identity of this spec's *workload stream*.
+
+        Unlike :meth:`cache_token`, this covers only the fields the
+        access stream depends on — benchmark, layout, access counts,
+        footprint scale and seed — so every policy and probe-filter
+        variant of one workload shares a single recorded trace.
+        """
+        return json.dumps(
+            {
+                "benchmark": self.benchmark,
+                "layout": self.layout,
+                "accesses": self.settings.accesses,
+                "multiprocess_accesses": self.settings.multiprocess_accesses,
+                "scale": self.settings.scale,
+                "seed": self.settings.seed,
+            },
+            sort_keys=True,
+        )
+
+    def stream_digest(self) -> str:
+        """SHA-256 of :meth:`stream_token` (names recorded trace files)."""
+        return hashlib.sha256(self.stream_token().encode("utf-8")).hexdigest()
+
     def cache_token(self) -> str:
         """Canonical string identity of the run (excludes code version).
 
@@ -196,6 +237,7 @@ class RunSpec:
             "accesses": self.settings.accesses,
             "multiprocess_accesses": self.settings.multiprocess_accesses,
             "seed": self.settings.seed,
+            "trace_source": self.trace_source,
         }
 
     # ------------------------------------------------------------------
@@ -214,8 +256,12 @@ class RunSpec:
         """Rebuild the deterministic access stream of this run.
 
         Workers call this instead of shipping traces across process
-        boundaries: the stream is a pure function of the spec.
+        boundaries: the stream is a pure function of the spec.  When the
+        spec carries a ``trace_source``, the stream is replayed from that
+        recorded trace instead of being regenerated.
         """
+        if self.trace_source is not None:
+            return read_trace(self.trace_source)
         if self.layout == "16t":
             spec = build_spec(
                 self.benchmark,
@@ -325,6 +371,33 @@ def figure4_plan(
     return SweepPlan(name="fig4", specs=specs)
 
 
+#: Nominal probe-filter sizes the microbenchmark plan sweeps: the paper's
+#: default plus a starved filter, where the families' sharing extremes
+#: separate the policies most clearly.
+MICRO_PF_SIZES: Tuple[int, ...] = (512 * 1024, 128 * 1024)
+
+
+def microbench_plan(
+    settings: ExperimentSettings,
+    benchmarks: Optional[Iterable[str]] = None,
+    pf_sizes: Tuple[int, ...] = MICRO_PF_SIZES,
+) -> SweepPlan:
+    """Both policies over the microbenchmark families at two filter sizes.
+
+    Exercises probe-filter policies on the canonical sharing patterns
+    (false sharing, migratory locks, streaming scans, read-mostly
+    hotspots) the paper's eight benchmarks only blend together.
+    """
+    names = MICROBENCH_FAMILIES if benchmarks is None else list(benchmarks)
+    specs = tuple(
+        RunSpec(benchmark=b, policy=p, pf_size=size, settings=settings)
+        for b in names
+        for p in ("baseline", "allarm")
+        for size in pf_sizes
+    )
+    return SweepPlan(name="micro", specs=specs)
+
+
 def full_plan(
     settings: ExperimentSettings, benchmarks: Optional[Iterable[str]] = None
 ) -> SweepPlan:
@@ -346,6 +419,7 @@ PLAN_BUILDERS = {
     "fig3": figure3_plan,
     "fig3h": figure3h_plan,
     "fig4": figure4_plan,
+    "micro": microbench_plan,
     "all": full_plan,
 }
 
@@ -355,7 +429,7 @@ def build_plan(
     settings: ExperimentSettings,
     benchmarks: Optional[Iterable[str]] = None,
 ) -> SweepPlan:
-    """Build a named plan (``fig3``, ``fig3h``, ``fig4`` or ``all``)."""
+    """Build a named plan (``fig3``, ``fig3h``, ``fig4``, ``micro`` or ``all``)."""
     try:
         builder = PLAN_BUILDERS[name]
     except KeyError:

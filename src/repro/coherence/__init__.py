@@ -1,5 +1,9 @@
-"""Coherence substrate: MOESI states, messages and transactions."""
+"""Coherence substrate: MOESI states, messages, transactions, invariants."""
 
+from repro.coherence.invariants import (
+    cached_line_states,
+    check_machine_invariants,
+)
 from repro.coherence.messages import (
     Message,
     MessageClass,
@@ -11,6 +15,8 @@ from repro.coherence.states import LineState, fill_state
 from repro.coherence.transactions import DataSource, RequestKind, Transaction
 
 __all__ = [
+    "cached_line_states",
+    "check_machine_invariants",
     "LineState",
     "fill_state",
     "Message",

@@ -1,0 +1,193 @@
+"""Machine-wide coherence invariants, checkable after any access.
+
+Litmus-style randomized validation (in the spirit of DateSAT's
+constraint-driven exploration of input spaces) drives a
+:class:`~repro.system.machine.Machine` with arbitrary access streams and
+asserts, after every step, the safety properties the protocol must never
+violate no matter what the workload does:
+
+* **single-writer / multiple-reader** — at most one cache holds a line
+  in a writable (M/E) state, and while one does, no other cache holds
+  the line at all; at most one cache is the line's owner (M/O/E).
+* **directory-cache agreement** — a probe-filter entry's recorded
+  holders must cover every cache that actually holds the line (entries
+  may *over*-approximate, because clean sharers drop lines silently
+  under the default ``"dirty"`` eviction-notification mode, but an
+  under-approximation would let a stale copy survive an invalidation).
+* **probe-filter inclusivity** — every cached line is tracked by its
+  home directory, with the single documented exception: under ALLARM,
+  the home node's *own* cache may hold lines of local memory untracked
+  (that is the paper's optimization).
+* **structural sanity** — no duplicate probe-filter entries, entries
+  sit in the set their address hashes to, occupancy never exceeds
+  capacity.
+
+Violations raise :class:`~repro.errors.ProtocolError` naming the line
+and nodes involved.  The checks walk every cache and probe filter, so
+they are meant for tests and debugging, not for the simulation hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.coherence.states import LineState
+from repro.errors import ProtocolError
+
+
+def cached_line_states(machine) -> Dict[int, Dict[int, LineState]]:
+    """Map each cached physical line to ``{node: coherence state}``.
+
+    The L2 image is the coherence-visible truth of each node (the L1s
+    are inclusive shadows), so only L2s are walked.
+    """
+    lines: Dict[int, Dict[int, LineState]] = {}
+    for node in machine.nodes:
+        for line in node.caches.l2.resident_lines():
+            lines.setdefault(line.line_address, {})[node.node_id] = line.state
+    return lines
+
+
+def check_single_writer(machine) -> None:
+    """Assert at most one writer and at most one owner per line."""
+    for line_address, holders in cached_line_states(machine).items():
+        writers = [n for n, s in holders.items() if s.can_write]
+        owners = [n for n, s in holders.items() if s.is_owner]
+        if len(writers) > 1:
+            raise ProtocolError(
+                f"line {line_address:#x}: multiple writable copies "
+                f"on nodes {sorted(writers)} ({holders})"
+            )
+        if writers and len(holders) > 1:
+            raise ProtocolError(
+                f"line {line_address:#x}: node {writers[0]} holds a writable "
+                f"copy while nodes {sorted(set(holders) - set(writers))} "
+                f"also hold the line ({holders})"
+            )
+        if len(owners) > 1:
+            raise ProtocolError(
+                f"line {line_address:#x}: multiple owners "
+                f"on nodes {sorted(owners)} ({holders})"
+            )
+
+
+def check_inclusion(machine) -> None:
+    """Assert every L1-resident line is also L2-resident (inclusive L2s)."""
+    for node in machine.nodes:
+        l2 = node.caches.l2
+        for l1 in (node.caches.l1i, node.caches.l1d):
+            for line in l1.resident_lines():
+                if not l2.contains(line.line_address):
+                    raise ProtocolError(
+                        f"node {node.node_id}: line {line.line_address:#x} in "
+                        f"{l1.name} but not in {l2.name}"
+                    )
+
+
+def check_directory_tracking(machine) -> None:
+    """Assert probe filters track (at least) every actual holder.
+
+    Under the baseline policy every cached line must be tracked by its
+    home directory.  Under ALLARM the home node's own cache may hold
+    lines homed in its local memory untracked — but any *remote* holder
+    must always be tracked, and when an entry exists its holder set must
+    cover every actual holder.
+    """
+    allarm = machine.config.uses_allarm
+    for line_address, holders in cached_line_states(machine).items():
+        home_node = machine.address_map.home_node(line_address)
+        entry = machine.node(home_node).probe_filter.peek(line_address)
+        if entry is None:
+            untrackable = {home_node} if allarm else set()
+            untracked = set(holders) - untrackable
+            if untracked:
+                raise ProtocolError(
+                    f"line {line_address:#x} (home {home_node}): cached by "
+                    f"nodes {sorted(untracked)} but not tracked by the home "
+                    f"probe filter"
+                )
+            continue
+        missing = set(holders) - entry.holders
+        if allarm:
+            missing.discard(home_node)
+        if missing:
+            raise ProtocolError(
+                f"line {line_address:#x} (home {home_node}): probe-filter "
+                f"entry lists holders {sorted(entry.holders)} but nodes "
+                f"{sorted(missing)} actually hold the line"
+            )
+
+
+def check_probe_filter_structure(machine) -> None:
+    """Assert each probe filter's structural integrity.
+
+    Walks the sets directly (rather than the flattened ``entries()``
+    view) so that an entry filed in a set its address does not hash to —
+    which ``lookup``/``peek`` would silently miss — is caught too.
+    """
+    for node in machine.nodes:
+        probe_filter = node.probe_filter
+        seen: Dict[int, int] = {}
+        count = 0
+        for set_number, fset in enumerate(probe_filter._sets):
+            for way, entry in fset.entries.items():
+                count += 1
+                if entry.line_address in seen:
+                    raise ProtocolError(
+                        f"probe filter {node.node_id}: duplicate entries for "
+                        f"line {entry.line_address:#x}"
+                    )
+                seen[entry.line_address] = entry.way
+                if probe_filter.set_index(entry.line_address) != set_number:
+                    raise ProtocolError(
+                        f"probe filter {node.node_id}: entry for "
+                        f"{entry.line_address:#x} filed in set {set_number} "
+                        f"but hashes to set "
+                        f"{probe_filter.set_index(entry.line_address)}"
+                    )
+                if way != entry.way or not 0 <= way < probe_filter.associativity:
+                    raise ProtocolError(
+                        f"probe filter {node.node_id}: entry for "
+                        f"{entry.line_address:#x} in impossible way "
+                        f"{entry.way} (stored under {way})"
+                    )
+        if count != probe_filter.occupancy():
+            raise ProtocolError(
+                f"probe filter {node.node_id}: occupancy() reports "
+                f"{probe_filter.occupancy()} but {count} entries exist"
+            )
+        if count > probe_filter.entry_count:
+            raise ProtocolError(
+                f"probe filter {node.node_id}: {count} entries exceed "
+                f"capacity {probe_filter.entry_count}"
+            )
+
+
+#: The individual checks run by :func:`check_machine_invariants`.
+ALL_CHECKS = (
+    check_single_writer,
+    check_inclusion,
+    check_directory_tracking,
+    check_probe_filter_structure,
+)
+
+
+def check_machine_invariants(machine) -> None:
+    """Run every coherence invariant check against *machine*.
+
+    Raises :class:`~repro.errors.ProtocolError` on the first violation;
+    returns ``None`` when the machine state is coherent.
+    """
+    for check in ALL_CHECKS:
+        check(machine)
+
+
+def holder_summary(machine) -> List[str]:
+    """Human-readable dump of every cached line's holders (debug aid)."""
+    rows = []
+    for line_address, holders in sorted(cached_line_states(machine).items()):
+        states = ", ".join(
+            f"{node}:{state.value}" for node, state in sorted(holders.items())
+        )
+        rows.append(f"{line_address:#x}: {states}")
+    return rows

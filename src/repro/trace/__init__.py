@@ -1,12 +1,36 @@
-"""Trace format: access records and file I/O."""
+"""Trace format: access records and file I/O (v1 text, v2 binary)."""
 
-from repro.trace.io import count_records, read_trace, write_trace
+from repro.trace.binary import (
+    TRACE_V2_MAGIC,
+    BinaryTraceWriter,
+    TraceInfo,
+    inspect_trace,
+    read_trace_v2,
+    write_trace_v2,
+)
+from repro.trace.io import (
+    FORMAT_BINARY,
+    FORMAT_TEXT,
+    count_records,
+    read_trace,
+    sniff_format,
+    write_trace,
+)
 from repro.trace.record import AccessRecord, AccessType
 
 __all__ = [
     "AccessRecord",
     "AccessType",
-    "read_trace",
-    "write_trace",
+    "BinaryTraceWriter",
+    "FORMAT_BINARY",
+    "FORMAT_TEXT",
+    "TRACE_V2_MAGIC",
+    "TraceInfo",
     "count_records",
+    "inspect_trace",
+    "read_trace",
+    "read_trace_v2",
+    "sniff_format",
+    "write_trace",
+    "write_trace_v2",
 ]

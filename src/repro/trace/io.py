@@ -1,11 +1,19 @@
-"""Trace file reader and writer.
+"""Trace file reader and writer, with transparent format sniffing.
 
-Traces are stored as plain text, one access per line, in the format
-``<process> <core> <R|W|I> <hex address>`` with ``#`` comment lines.  The
-format is deliberately simple so that traces from other tools (or from the
-real SPLASH2/Parsec binaries run under a binary-instrumentation tool) can
-be converted with a one-line awk script and replayed through the same
-simulator.
+Two on-disk formats exist:
+
+* **v1 text** — one access per line, ``<process> <core> <R|W|I> <hex
+  address>`` with ``#`` comment lines.  Deliberately simple so traces
+  from other tools (or from the real SPLASH2/Parsec binaries run under a
+  binary-instrumentation tool) can be converted with a one-line awk
+  script.
+* **v2 binary** (:mod:`repro.trace.binary`) — packed, varint
+  delta-encoded records, 5-8x smaller and more than twice as fast to
+  replay; the format the sweep engine records and replays.
+
+:func:`read_trace` sniffs the file's leading bytes and dispatches, so
+every consumer — the simulator, the CLI, the sweep executor — handles
+both formats without caring which one it was given.
 """
 
 from __future__ import annotations
@@ -14,13 +22,55 @@ from pathlib import Path
 from typing import Iterable, Iterator, Union
 
 from repro.errors import WorkloadError
+from repro.trace.binary import (
+    TRACE_V2_MAGIC,
+    read_trace_v2,
+    stored_record_count,
+    write_trace_v2,
+)
 from repro.trace.record import AccessRecord
 
 PathLike = Union[str, Path]
 
+#: Format labels returned by :func:`sniff_format`.
+FORMAT_TEXT = "text"
+FORMAT_BINARY = "binary"
 
-def write_trace(path: PathLike, records: Iterable[AccessRecord]) -> int:
-    """Write *records* to *path*; return the number of records written."""
+
+def sniff_format(path: PathLike) -> str:
+    """Return ``"binary"`` or ``"text"`` for the trace file at *path*.
+
+    A file is binary exactly when it starts with the v2 magic; anything
+    else (including an empty file) is treated as v1 text, whose reader
+    reports malformed content with line numbers.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise WorkloadError(f"trace file {source} does not exist")
+    try:
+        with source.open("rb") as handle:
+            prefix = handle.read(len(TRACE_V2_MAGIC))
+    except OSError as exc:
+        # E.g. a directory or an unreadable file.
+        raise WorkloadError(f"trace file {source} cannot be read: {exc}") from exc
+    return FORMAT_BINARY if prefix == TRACE_V2_MAGIC else FORMAT_TEXT
+
+
+def write_trace(
+    path: PathLike, records: Iterable[AccessRecord], format: str = FORMAT_TEXT
+) -> int:
+    """Write *records* to *path*; return the number of records written.
+
+    *format* selects v1 ``"text"`` (the default, interoperable) or v2
+    ``"binary"`` (compact, fast to replay).
+    """
+    if format == FORMAT_BINARY:
+        return write_trace_v2(path, records)
+    if format != FORMAT_TEXT:
+        raise WorkloadError(
+            f"unknown trace format {format!r}; expected "
+            f"{FORMAT_TEXT!r} or {FORMAT_BINARY!r}"
+        )
     count = 0
     target = Path(path)
     with target.open("w", encoding="utf-8") as handle:
@@ -33,7 +83,14 @@ def write_trace(path: PathLike, records: Iterable[AccessRecord]) -> int:
 
 
 def read_trace(path: PathLike) -> Iterator[AccessRecord]:
-    """Yield the records stored in the trace file at *path*."""
+    """Yield the records stored in the trace file at *path* (either format)."""
+    if sniff_format(path) == FORMAT_BINARY:
+        return read_trace_v2(path)
+    return _read_trace_text(path)
+
+
+def _read_trace_text(path: PathLike) -> Iterator[AccessRecord]:
+    """Yield the records of a v1 text trace."""
     source = Path(path)
     if not source.exists():
         raise WorkloadError(f"trace file {source} does not exist")
@@ -51,5 +108,14 @@ def read_trace(path: PathLike) -> Iterator[AccessRecord]:
 
 
 def count_records(path: PathLike) -> int:
-    """Return the number of access records in a trace file."""
+    """Return the number of access records in a trace file.
+
+    Binary traces store their record count in the header, making this
+    O(1); text traces (and binary traces whose writer never closed
+    cleanly) fall back to a full scan.
+    """
+    if sniff_format(path) == FORMAT_BINARY:
+        stored = stored_record_count(path)
+        if stored >= 0:
+            return stored
     return sum(1 for _ in read_trace(path))

@@ -14,8 +14,10 @@ from repro.workloads.multiprocess import (
     multiprocess_benchmarks,
 )
 from repro.workloads.registry import (
+    MICROBENCH_FAMILIES,
     MULTIPROCESS_BENCHMARKS,
     PAPER_BENCHMARKS,
+    all_benchmark_names,
     benchmark_names,
     build_spec,
     build_workload,
@@ -31,7 +33,9 @@ __all__ = [
     "materialize",
     "interleave",
     "PAPER_BENCHMARKS",
+    "MICROBENCH_FAMILIES",
     "MULTIPROCESS_BENCHMARKS",
+    "all_benchmark_names",
     "benchmark_names",
     "build_spec",
     "build_workload",

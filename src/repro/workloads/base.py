@@ -62,12 +62,16 @@ class RegionSpec:
         Size of one instance (per thread for private, total for shared).
     sharing:
         For shared regions: ``"uniform"`` (any thread touches any line),
-        ``"producer"`` (thread 0 first-touches everything, all threads
-        then read it), ``"halo"`` (the region is partitioned into
-        per-thread chunks; threads mostly touch their own chunk and
-        sometimes a neighbour's boundary), ``"pipeline"`` (chunk *t* is
-        written by thread *t* and read by thread *t + 1*), or ``"zipf"``
-        (power-law popularity over the whole region).
+        ``"producer"`` (thread 0 first-touches everything and remains
+        the only writer; all other threads read it), ``"halo"`` (the
+        region is partitioned into per-thread chunks; threads mostly
+        touch their own chunk and sometimes a neighbour's boundary),
+        ``"pipeline"`` (chunk *t* is written by thread *t* and read by
+        thread *t + 1*), ``"zipf"`` (power-law popularity over the whole
+        region), or ``"migratory"`` (lock-style: ownership of the region
+        migrates around the threads in bursts — the holder reads and
+        writes it while every other thread only reads, as a spinning
+        waiter does).
     reuse:
         Address selection within the chosen chunk: ``"zipf"`` (hot
         subset), ``"sequential"`` (streaming) or ``"uniform"``.
@@ -89,7 +93,14 @@ class RegionSpec:
     def __post_init__(self) -> None:
         if self.kind not in ("private", "shared"):
             raise WorkloadError(f"region {self.name}: unknown kind {self.kind!r}")
-        if self.sharing not in ("uniform", "producer", "halo", "pipeline", "zipf"):
+        if self.sharing not in (
+            "uniform",
+            "producer",
+            "halo",
+            "pipeline",
+            "zipf",
+            "migratory",
+        ):
             raise WorkloadError(
                 f"region {self.name}: unknown sharing {self.sharing!r}"
             )
@@ -211,6 +222,9 @@ class SyntheticWorkload:
         self._layout_cursor = _LAYOUT_BASE + spec.process_id * (1 << 34)
         self._instances: Dict[str, List[_RegionInstance]] = {}
         self._cursors: Dict[Tuple[str, int], int] = {}
+        # Migratory regions: region name -> [current holder, accesses the
+        # holder has left before ownership passes on].
+        self._migratory_state: Dict[str, List[int]] = {}
         self._mix_names: List[str] = []
         self._mix_weights: List[float] = []
         self._regions_by_name: Dict[str, RegionSpec] = {
@@ -314,7 +328,9 @@ class SyntheticWorkload:
         region = instance.spec
         if region.kind == "private":
             return instance.owner_thread or 0
-        if region.sharing == "producer":
+        if region.sharing in ("producer", "migratory"):
+            # Producer data and lock structures are allocated (and hence
+            # first touched) by the main thread.
             return 0
         if region.sharing in ("halo", "pipeline"):
             pages_per_thread = max(1, instance.page_count // self.spec.thread_count)
@@ -388,7 +404,29 @@ class SyntheticWorkload:
         threads = self.spec.thread_count
         chunk_lines = max(1, lines // threads)
 
-        if region.sharing in ("uniform", "zipf", "producer"):
+        if region.sharing in ("uniform", "zipf"):
+            return instance, (0, lines), True
+        if region.sharing == "producer":
+            # Thread 0 initialised the data and remains its only writer;
+            # every other thread reads it (blackscholes' portfolio).  A
+            # previous version returned owned=True for every thread,
+            # which let all of them write data the model documents as
+            # init-by-thread-0 then read-shared.
+            return instance, (0, lines), thread == 0
+        if region.sharing == "migratory":
+            state = self._migratory_state.get(region_name)
+            if state is None:
+                state = [0, self.MIGRATORY_BURST]
+                self._migratory_state[region_name] = state
+            holder, remaining = state
+            if thread != holder:
+                # Waiters spin-read the lock word and guarded data.
+                return instance, (0, lines), False
+            if remaining <= 1:
+                state[0] = (holder + 1) % threads
+                state[1] = self.MIGRATORY_BURST
+            else:
+                state[1] = remaining - 1
             return instance, (0, lines), True
         if region.sharing == "halo":
             target = thread
@@ -421,6 +459,11 @@ class SyntheticWorkload:
         else:
             line = start_line + self._rng.randrange(line_count)
         return instance.line_vaddr(line)
+
+    #: Accesses a migratory region's holder performs before ownership
+    #: passes to the next thread — a critical section of a handful of
+    #: read-modify-writes, as lock-protected updates are.
+    MIGRATORY_BURST = 6
 
     #: Fraction of a region treated as its hot subset under "zipf" reuse.
     HOT_FRACTION = 0.12

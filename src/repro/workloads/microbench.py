@@ -1,0 +1,169 @@
+"""Synthetic microbenchmark families beyond the paper's eight benchmarks.
+
+The paper evaluates ALLARM on SPLASH2 and Parsec programs whose sharing
+patterns cluster around a few shapes (read-shared producer data, halo
+exchange, pipelines, power-law trees).  These four families isolate the
+canonical sharing patterns the suite under-represents, so probe-filter
+policies are exercised at the extremes rather than only on the blends the
+paper happened to pick:
+
+* **false-sharing** — every thread hammers writes into a region a few
+  pages long.  At 64-byte-line granularity, independent counters packed
+  onto shared lines are indistinguishable from genuine write sharing, so
+  the directory sees the worst case: constant ownership ping-pong over a
+  line set small enough that probe-filter capacity is irrelevant —
+  isolating protocol latency from eviction effects.
+* **migratory** — lock-style critical sections: ownership of a small
+  lock-plus-data region migrates around the threads in bursts while the
+  other threads spin-read (the ``"migratory"`` sharing mode of
+  :mod:`repro.workloads.base`).  Classic directory-protocol torture test:
+  every handoff is an invalidate plus a cache-to-cache transfer.
+* **stream-scan** — all threads sequentially scan one table much larger
+  than the caches, with rare writes.  Every miss is a capacity miss on
+  read-shared data, the regime where ALLARM's local-allocation savings
+  should be immaterial (the fluidanimate lesson, taken to its limit).
+* **hotspot** — read-mostly power-law sharing: a table whose hot lines
+  are read by every thread and written almost never, plus substantial
+  thread-private working sets.  Under first-touch the table's pages
+  stripe across all homes, giving wide multi-reader sharer sets — the
+  state the probe filter is worst at tracking precisely.
+
+Builders follow the same conventions as :mod:`repro.workloads.splash2`
+and :mod:`repro.workloads.parsec` and are registered in
+:mod:`repro.workloads.registry` under :data:`MICROBENCH_FAMILIES`.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import RegionSpec, WorkloadSpec
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def false_sharing(total_accesses: int = 200_000, seed: int = 301) -> WorkloadSpec:
+    """False-sharing microbenchmark: all threads write a tiny shared region."""
+    regions = (
+        RegionSpec(
+            name="locals",
+            kind="private",
+            bytes_per_instance=64 * KB,
+            reuse="zipf",
+            write_fraction=0.45,
+        ),
+        RegionSpec(
+            name="packed_counters",
+            kind="shared",
+            bytes_per_instance=8 * KB,
+            sharing="uniform",
+            reuse="zipf",
+            write_fraction=0.6,
+        ),
+    )
+    mix = {"locals": 0.45, "packed_counters": 0.55}
+    return WorkloadSpec(
+        name="false-sharing",
+        regions=regions,
+        mix=mix,
+        total_accesses=total_accesses,
+        seed=seed,
+        description="Per-thread counters packed onto shared lines, written by all",
+    )
+
+
+def migratory(total_accesses: int = 200_000, seed: int = 302) -> WorkloadSpec:
+    """Migratory lock-style microbenchmark: bursty ownership handoff."""
+    regions = (
+        RegionSpec(
+            name="locals",
+            kind="private",
+            bytes_per_instance=96 * KB,
+            reuse="zipf",
+            write_fraction=0.4,
+        ),
+        RegionSpec(
+            name="locks",
+            kind="shared",
+            bytes_per_instance=4 * KB,
+            sharing="migratory",
+            reuse="zipf",
+            write_fraction=0.55,
+        ),
+        RegionSpec(
+            name="guarded",
+            kind="shared",
+            bytes_per_instance=128 * KB,
+            sharing="migratory",
+            reuse="zipf",
+            write_fraction=0.4,
+        ),
+    )
+    mix = {"locals": 0.4, "locks": 0.25, "guarded": 0.35}
+    return WorkloadSpec(
+        name="migratory",
+        regions=regions,
+        mix=mix,
+        total_accesses=total_accesses,
+        seed=seed,
+        description="Lock-protected data whose ownership migrates thread to thread",
+    )
+
+
+def stream_scan(total_accesses: int = 200_000, seed: int = 303) -> WorkloadSpec:
+    """Streaming-scan microbenchmark: shared sequential sweep of a big table."""
+    regions = (
+        RegionSpec(
+            name="locals",
+            kind="private",
+            bytes_per_instance=32 * KB,
+            reuse="zipf",
+            write_fraction=0.4,
+        ),
+        RegionSpec(
+            name="table",
+            kind="shared",
+            bytes_per_instance=16 * MB,
+            sharing="uniform",
+            reuse="sequential",
+            write_fraction=0.04,
+        ),
+    )
+    mix = {"locals": 0.2, "table": 0.8}
+    return WorkloadSpec(
+        name="stream-scan",
+        regions=regions,
+        mix=mix,
+        total_accesses=total_accesses,
+        seed=seed,
+        description="All threads stream through a table far larger than the caches",
+    )
+
+
+def hotspot(total_accesses: int = 200_000, seed: int = 304) -> WorkloadSpec:
+    """Read-mostly hotspot microbenchmark: hot lines read by everyone."""
+    regions = (
+        RegionSpec(
+            name="locals",
+            kind="private",
+            bytes_per_instance=128 * KB,
+            reuse="zipf",
+            write_fraction=0.45,
+        ),
+        RegionSpec(
+            name="hot_table",
+            kind="shared",
+            bytes_per_instance=2 * MB,
+            sharing="zipf",
+            reuse="zipf",
+            write_fraction=0.02,
+        ),
+    )
+    mix = {"locals": 0.4, "hot_table": 0.6}
+    return WorkloadSpec(
+        name="hotspot",
+        regions=regions,
+        mix=mix,
+        total_accesses=total_accesses,
+        seed=seed,
+        description="Read-mostly table whose hot lines every thread keeps reading",
+    )

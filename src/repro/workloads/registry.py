@@ -1,10 +1,13 @@
 """Workload registry: look up benchmark builders by name.
 
-The evaluation uses a fixed benchmark list (Section III, Figure 2):
-barnes, blackscholes, cholesky, dedup, fluidanimate, ocean-cont,
-ocean-non-cont and x264.  The registry maps each name to its spec builder
-so that the experiment harness, the examples and the command line can all
-address benchmarks uniformly.
+The paper's evaluation uses a fixed benchmark list (Section III,
+Figure 2): barnes, blackscholes, cholesky, dedup, fluidanimate,
+ocean-cont, ocean-non-cont and x264.  Alongside those, the registry
+carries the microbenchmark families of :mod:`repro.workloads.microbench`,
+which isolate sharing patterns the paper's suite under-represents.  The
+registry maps each name to its spec builder so that the experiment
+harness, the examples and the command line can all address benchmarks
+uniformly.
 """
 
 from __future__ import annotations
@@ -12,7 +15,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.errors import WorkloadError
-from repro.workloads import parsec, splash2
+from repro.workloads import microbench, parsec, splash2
 from repro.workloads.base import SyntheticWorkload, WorkloadSpec
 
 SpecBuilder = Callable[..., WorkloadSpec]
@@ -26,6 +29,10 @@ _REGISTRY: Dict[str, SpecBuilder] = {
     "ocean-cont": splash2.ocean_contiguous,
     "ocean-non-cont": splash2.ocean_non_contiguous,
     "x264": parsec.x264,
+    "false-sharing": microbench.false_sharing,
+    "migratory": microbench.migratory,
+    "stream-scan": microbench.stream_scan,
+    "hotspot": microbench.hotspot,
 }
 
 #: The benchmark order used throughout the paper's figures.
@@ -48,10 +55,26 @@ MULTIPROCESS_BENCHMARKS: List[str] = [
     "ocean-non-cont",
 ]
 
+#: Microbenchmark families isolating canonical sharing patterns (see
+#: :mod:`repro.workloads.microbench`).  Unlike the paper suite they may
+#: be unregistered and re-registered, so experiments can swap variants in.
+MICROBENCH_FAMILIES: List[str] = [
+    "false-sharing",
+    "migratory",
+    "stream-scan",
+    "hotspot",
+]
+
 
 def benchmark_names() -> List[str]:
-    """Return every registered benchmark name, in paper order."""
+    """Return the paper's benchmark names, in paper order."""
     return list(PAPER_BENCHMARKS)
+
+
+def all_benchmark_names() -> List[str]:
+    """Return every registered benchmark name: paper suite, then extras."""
+    extras = [name for name in _REGISTRY if name not in PAPER_BENCHMARKS]
+    return list(PAPER_BENCHMARKS) + sorted(extras)
 
 
 def is_registered(name: str) -> bool:

@@ -1,0 +1,200 @@
+"""Property-based coherence validation: litmus-style randomized streams.
+
+Hypothesis generates arbitrary interleavings of reads and writes from
+every core over a small page pool, drives them through a deliberately
+tiny machine (so caches and probe filters overflow constantly), and
+asserts the protocol safety invariants of
+:mod:`repro.coherence.invariants` after every single access — under both
+directory policies and every eviction-notification mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.invariants import (
+    cached_line_states,
+    check_directory_tracking,
+    check_machine_invariants,
+    check_probe_filter_structure,
+    check_single_writer,
+)
+from repro.coherence.states import LineState
+from repro.errors import ProtocolError
+from repro.system.config import (
+    CoreConfig,
+    DirectoryConfig,
+    NetworkConfig,
+    SystemConfig,
+)
+from repro.system.machine import Machine
+
+#: Number of cores/nodes in the litmus machine (2x2 mesh).
+CORES = 4
+
+#: Virtual pages the random streams touch.  Small enough that cores
+#: collide on lines constantly, large enough to overflow the tiny caches.
+PAGES = 6
+
+#: Lines probed within each page.
+LINES_PER_PAGE = 4
+
+
+def tiny_config(policy: str, eviction_notification: str = "dirty") -> SystemConfig:
+    """A 4-node machine with caches small enough to thrash immediately."""
+    return SystemConfig(
+        core_count=CORES,
+        core=CoreConfig(l1i_size=1024, l1d_size=1024, l2_size=2048),
+        directory=DirectoryConfig(
+            probe_filter_coverage=2048,
+            memory_bytes=64 * 1024 * 1024,
+            eviction_notification=eviction_notification,
+        ),
+        network=NetworkConfig(mesh_width=2, mesh_height=2),
+        directory_policy=policy,
+    )
+
+
+#: One random access: (core, page, line-in-page, is_write).
+access_strategy = st.tuples(
+    st.integers(min_value=0, max_value=CORES - 1),
+    st.integers(min_value=0, max_value=PAGES - 1),
+    st.integers(min_value=0, max_value=LINES_PER_PAGE - 1),
+    st.booleans(),
+)
+
+stream_strategy = st.lists(access_strategy, min_size=1, max_size=120)
+
+
+def drive(machine: Machine, stream) -> None:
+    """Replay a random stream, checking every invariant after each step."""
+    base = 0x4000_0000
+    for core, page, line, is_write in stream:
+        vaddr = base + page * 4096 + line * 64
+        machine.perform_access(core, 0, vaddr, is_write)
+        check_machine_invariants(machine)
+
+
+class TestRandomStreamsKeepInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(stream=stream_strategy)
+    def test_baseline(self, stream):
+        drive(Machine(tiny_config("baseline")), stream)
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=stream_strategy)
+    def test_allarm(self, stream):
+        drive(Machine(tiny_config("allarm")), stream)
+
+    @settings(max_examples=15, deadline=None)
+    @given(stream=stream_strategy)
+    @pytest.mark.parametrize("mode", ["none", "owned"])
+    def test_eviction_notification_modes(self, stream, mode):
+        drive(Machine(tiny_config("baseline", eviction_notification=mode)), stream)
+
+    @settings(max_examples=15, deadline=None)
+    @given(stream=stream_strategy)
+    def test_allarm_with_multiple_processes(self, stream):
+        # Distinct processes map the same virtual pages to distinct
+        # physical frames; interleave two of them on alternating cores.
+        machine = Machine(tiny_config("allarm"))
+        base = 0x4000_0000
+        for index, (core, page, line, is_write) in enumerate(stream):
+            vaddr = base + page * 4096 + line * 64
+            machine.perform_access(core, index % 2, vaddr, is_write)
+            check_machine_invariants(machine)
+
+
+class TestInvariantStrength:
+    """The checks must actually catch broken states, not pass vacuously."""
+
+    def warmed_machine(self, policy: str = "baseline") -> Machine:
+        machine = Machine(tiny_config(policy))
+        for core in range(CORES):
+            for page in range(PAGES):
+                machine.perform_access(core, 0, 0x4000_0000 + page * 4096, False)
+        check_machine_invariants(machine)
+        return machine
+
+    def test_detects_double_writer(self):
+        machine = self.warmed_machine()
+        lines = cached_line_states(machine)
+        # Find a line somewhere and force a second node to hold it MODIFIED.
+        line_address, holders = next(iter(lines.items()))
+        other = next(n for n in range(CORES) if n not in holders)
+        machine.node(other).caches.l2.fill(line_address, LineState.MODIFIED)
+        with pytest.raises(ProtocolError, match="writable"):
+            check_single_writer(machine)
+
+    def test_detects_untracked_remote_holder(self):
+        machine = self.warmed_machine()
+        line_address, holders = next(iter(cached_line_states(machine).items()))
+        home = machine.address_map.home_node(line_address)
+        entry = machine.node(home).probe_filter.peek(line_address)
+        if entry is None:
+            pytest.skip("picked an untracked line; stream too short")
+        # Forge a holder the directory does not know about.
+        forged = next(n for n in range(CORES) if n not in entry.holders)
+        machine.node(forged).caches.l2.fill(line_address, LineState.SHARED)
+        with pytest.raises(ProtocolError):
+            check_directory_tracking(machine)
+
+    def test_detects_duplicate_probe_filter_entries(self):
+        machine = self.warmed_machine()
+        probe_filter = machine.node(0).probe_filter
+        entry = next(iter(probe_filter.entries()), None)
+        if entry is None:
+            pytest.skip("probe filter empty")
+        # Clone the entry into another way of its set, bypassing the
+        # allocate() guard (making room first if the set is full).
+        fset = probe_filter._sets[probe_filter.set_index(entry.line_address)]
+        free = next(
+            (w for w in range(probe_filter.associativity) if w not in fset.entries),
+            None,
+        )
+        if free is None:
+            free = next(w for w in fset.entries if w != entry.way)
+            del fset.entries[free]
+        import copy
+
+        clone = copy.copy(entry)
+        clone.way = free
+        fset.entries[free] = clone
+        with pytest.raises(ProtocolError, match="duplicate"):
+            check_probe_filter_structure(machine)
+
+    def test_detects_entry_in_wrong_set(self):
+        machine = self.warmed_machine()
+        probe_filter = machine.node(0).probe_filter
+        entry = next(iter(probe_filter.entries()), None)
+        if entry is None:
+            pytest.skip("probe filter empty")
+        # Move the entry to a set its address does not hash to; peek()
+        # would silently miss it there.
+        home = probe_filter._sets[probe_filter.set_index(entry.line_address)]
+        wrong = probe_filter._sets[
+            (probe_filter.set_index(entry.line_address) + 1) % probe_filter.set_count
+        ]
+        del home.entries[entry.way]
+        wrong.entries.pop(entry.way, None)
+        wrong.entries[entry.way] = entry
+        with pytest.raises(ProtocolError, match="hashes to set"):
+            check_probe_filter_structure(machine)
+
+
+class TestSimulatedWorkloadsKeepInvariants:
+    """End-state invariant check after real workload runs (both policies)."""
+
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    @pytest.mark.parametrize("workload", ["barnes", "false-sharing", "migratory"])
+    def test_workload_end_state(self, policy, workload):
+        from repro.system.config import experiment_config
+        from repro.system.simulator import Simulator
+        from repro.workloads.registry import build_spec
+        from repro.workloads.base import SyntheticWorkload
+
+        spec = build_spec(workload, total_accesses=2000).with_footprint_scale(32)
+        simulator = Simulator(experiment_config(policy, scale=32))
+        simulator.run(SyntheticWorkload(spec).generate(), workload)
+        check_machine_invariants(simulator.machine)

@@ -55,6 +55,20 @@ class TestSeeds:
     def test_base_seed_perturbs(self):
         assert seed_for("barnes", 0) != seed_for("barnes", 1)
 
+    def test_anagram_benchmark_names_get_distinct_access_streams(self):
+        # Regression for the pre-crc32 char-sum seed: two benchmarks whose
+        # names are anagrams must not replay identical access streams.
+        from repro.workloads.base import materialize
+        from repro.workloads.registry import build_spec
+
+        streams = {}
+        for name in ("stream-scan", "scan-stream"):
+            spec = build_spec(
+                "barnes", total_accesses=2000, seed=seed_for(name)
+            ).with_footprint_scale(32)
+            streams[name] = materialize(spec)
+        assert streams["stream-scan"] != streams["scan-stream"]
+
 
 # ----------------------------------------------------------------------
 # RunSpec
@@ -137,6 +151,14 @@ class TestPlans:
         assert len(build_plan("fig3", TINY, benchmarks=["barnes"])) == 2
         with pytest.raises(ConfigurationError):
             build_plan("fig9", TINY)
+
+    def test_microbench_plan(self):
+        from repro.workloads.registry import MICROBENCH_FAMILIES
+
+        plan = build_plan("micro", TINY)
+        assert len(plan) == len(MICROBENCH_FAMILIES) * 2 * 2
+        assert {spec.benchmark for spec in plan} == set(MICROBENCH_FAMILIES)
+        assert all(spec.layout == "16t" for spec in plan)
 
     def test_empty_benchmark_subset_means_no_runs(self):
         # An explicitly empty subset must not silently expand to the full

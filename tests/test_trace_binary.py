@@ -1,0 +1,249 @@
+"""Round-trip, determinism and error-context tests for binary trace v2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.plan import ExperimentSettings, RunSpec
+from repro.errors import WorkloadError
+from repro.trace import (
+    FORMAT_BINARY,
+    FORMAT_TEXT,
+    BinaryTraceWriter,
+    count_records,
+    inspect_trace,
+    read_trace,
+    sniff_format,
+    write_trace,
+    write_trace_v2,
+)
+from repro.trace.binary import HEADER_SIZE, read_trace_v2, stored_record_count
+from repro.trace.record import AccessRecord, AccessType
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.multiprocess import build_multiprocess_spec, generate_multiprocess
+from repro.workloads.registry import build_spec
+
+TINY = ExperimentSettings(scale=16, accesses=1500, multiprocess_accesses=800)
+
+
+def workload_records(name="barnes", accesses=3000):
+    spec = build_spec(name, total_accesses=accesses).with_footprint_scale(32)
+    return list(SyntheticWorkload(spec).generate())
+
+
+#: Arbitrary records: adversarial cores/addresses, not just generator output.
+record_strategy = st.builds(
+    AccessRecord,
+    core=st.integers(min_value=0, max_value=1 << 20),
+    vaddr=st.integers(min_value=0, max_value=(1 << 52) - 1),
+    access_type=st.sampled_from(list(AccessType)),
+    process_id=st.integers(min_value=0, max_value=1 << 10),
+)
+
+
+class TestFormatSniffing:
+    def test_sniffs_both_formats(self, tmp_path):
+        records = workload_records(accesses=500)
+        text = tmp_path / "t.txt"
+        binary = tmp_path / "t.rpt2"
+        write_trace(text, records)
+        write_trace(binary, records, format=FORMAT_BINARY)
+        assert sniff_format(text) == FORMAT_TEXT
+        assert sniff_format(binary) == FORMAT_BINARY
+
+    def test_read_trace_dispatches_transparently(self, tmp_path):
+        records = workload_records(accesses=500)
+        text = tmp_path / "t.txt"
+        binary = tmp_path / "t.rpt2"
+        write_trace(text, records)
+        write_trace(binary, records, format=FORMAT_BINARY)
+        assert list(read_trace(text)) == records
+        assert list(read_trace(binary)) == records
+
+    def test_empty_file_is_text(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_bytes(b"")
+        assert sniff_format(path) == FORMAT_TEXT
+        assert list(read_trace(path)) == []
+
+    def test_unknown_write_format_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="unknown trace format"):
+            write_trace(tmp_path / "t", [], format="parquet")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="does not exist"):
+            sniff_format(tmp_path / "nope")
+
+
+class TestBinaryRoundTrip:
+    def test_workload_stream_round_trips(self, tmp_path):
+        records = workload_records()
+        path = tmp_path / "t.rpt2"
+        written = write_trace_v2(path, records)
+        assert written == len(records)
+        assert list(read_trace_v2(path)) == records
+
+    def test_text_and_binary_decode_identically(self, tmp_path):
+        records = workload_records("dedup")
+        text = tmp_path / "t.txt"
+        binary = tmp_path / "t.rpt2"
+        write_trace(text, records)
+        write_trace(binary, records, format=FORMAT_BINARY)
+        assert list(read_trace(text)) == list(read_trace(binary))
+
+    def test_multiprocess_stream_round_trips(self, tmp_path):
+        mp = build_multiprocess_spec("cholesky", total_accesses_per_copy=1000)
+        records = list(generate_multiprocess(mp))
+        path = tmp_path / "mp.rpt2"
+        write_trace_v2(path, records)
+        assert list(read_trace_v2(path)) == records
+
+    def test_write_is_deterministic(self, tmp_path):
+        records = workload_records(accesses=1000)
+        a, b = tmp_path / "a.rpt2", tmp_path / "b.rpt2"
+        write_trace_v2(a, records)
+        write_trace_v2(b, records)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_binary_is_smaller_than_text(self, tmp_path):
+        records = workload_records(accesses=2000)
+        text, binary = tmp_path / "t.txt", tmp_path / "t.rpt2"
+        write_trace(text, records)
+        write_trace(binary, records, format=FORMAT_BINARY)
+        assert binary.stat().st_size * 4 < text.stat().st_size
+
+    @settings(max_examples=30, deadline=None)
+    @given(records=st.lists(record_strategy, max_size=60))
+    def test_arbitrary_records_round_trip(self, records, tmp_path_factory):
+        path = tmp_path_factory.mktemp("hyp") / "t.rpt2"
+        write_trace_v2(path, records)
+        assert list(read_trace_v2(path)) == records
+
+    def test_streaming_writer_counts_and_patches_header(self, tmp_path):
+        records = workload_records(accesses=500)
+        path = tmp_path / "t.rpt2"
+        with BinaryTraceWriter(path) as writer:
+            for record in records:
+                writer.write(record)
+            assert writer.record_count == len(records)
+        assert stored_record_count(path) == len(records)
+        assert count_records(path) == len(records)
+
+    def test_count_records_is_o1_for_closed_binary(self, tmp_path):
+        records = workload_records(accesses=500)
+        path = tmp_path / "t.rpt2"
+        write_trace_v2(path, records)
+        # Corrupt everything after the header: an O(1) count never sees it.
+        data = bytearray(path.read_bytes())
+        data[HEADER_SIZE:] = b"\xff" * 4
+        path.write_bytes(bytes(data))
+        assert count_records(path) == len(records)
+
+
+class TestBinaryErrors:
+    def make_trace(self, tmp_path, records=None):
+        path = tmp_path / "t.rpt2"
+        write_trace_v2(path, records if records is not None else workload_records(accesses=200))
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "t.rpt2"
+        path.write_bytes(b"\x89RPT9\r\n\x1a" + b"\x00" * 8)
+        with pytest.raises(WorkloadError, match="bad magic"):
+            list(read_trace_v2(path))
+
+    def test_truncated_file_names_record_and_offset(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 1])
+        with pytest.raises(WorkloadError, match=r"record \d+ at byte \d+.*truncated"):
+            list(read_trace_v2(path))
+
+    def test_invalid_type_code_names_record_and_offset(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[HEADER_SIZE] |= 0x03  # access-type code 3 is reserved
+        path.write_bytes(bytes(data))
+        with pytest.raises(WorkloadError, match="record 0 at byte 16.*type"):
+            list(read_trace_v2(path))
+
+    def test_header_count_mismatch_detected(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Lie about the record count.
+        data[8:16] = (5).to_bytes(8, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(WorkloadError, match="promises 5 records"):
+            list(read_trace_v2(path))
+
+    def test_text_errors_still_name_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("# header\n0 1 R 0x40\nnot a record\n")
+        with pytest.raises(WorkloadError, match="bad.txt:3"):
+            list(read_trace(path))
+
+
+class TestReplayVsGenerate:
+    """Replaying a recorded trace must be bit-identical to generating."""
+
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    def test_snapshots_bit_identical(self, tmp_path, policy):
+        from repro.analysis.executor import execute_run_spec, record_spec_trace
+
+        spec = RunSpec("barnes", policy, settings=TINY)
+        path = tmp_path / "barnes.rpt2"
+        record_spec_trace(spec, path)
+        generated = execute_run_spec(spec)
+        replayed = execute_run_spec(spec.with_trace(path))
+        assert replayed.to_dict() == generated.to_dict()
+
+    def test_multiprocess_snapshot_bit_identical(self, tmp_path):
+        from repro.analysis.executor import execute_run_spec, record_spec_trace
+
+        spec = RunSpec("barnes", "allarm", layout="2p", settings=TINY)
+        path = tmp_path / "barnes-2p.rpt2"
+        record_spec_trace(spec, path)
+        assert (
+            execute_run_spec(spec.with_trace(path)).to_dict()
+            == execute_run_spec(spec).to_dict()
+        )
+
+    def test_executor_trace_dir_serves_sweep(self, tmp_path):
+        from repro.analysis.executor import (
+            SOURCE_REPLAYED,
+            SweepExecutor,
+        )
+        from repro.analysis.plan import figure3_plan
+
+        plan = figure3_plan(TINY, benchmarks=["barnes"])
+        recorded = SweepExecutor(
+            trace_dir=tmp_path / "traces", record_traces=True
+        ).run_plan(plan)
+        assert all(r.source == SOURCE_REPLAYED for r in recorded.results)
+        # One trace file serves both policies of the same workload stream.
+        assert len(list((tmp_path / "traces").glob("*.rpt2"))) == 1
+        generated = SweepExecutor().run_plan(plan)
+        for left, right in zip(recorded.results, generated.results):
+            assert left.spec == right.spec
+            assert left.snapshot.to_dict() == right.snapshot.to_dict()
+
+    def test_trace_source_changes_cache_identity(self, tmp_path):
+        spec = RunSpec("barnes", "allarm", settings=TINY)
+        traced = spec.with_trace(tmp_path / "t.rpt2")
+        assert traced.digest() != spec.digest()
+        assert traced.stream_digest() == spec.stream_digest()
+
+
+class TestInspect:
+    def test_inspect_reports_both_formats(self, tmp_path):
+        records = workload_records(accesses=400)
+        text, binary = tmp_path / "t.txt", tmp_path / "t.rpt2"
+        write_trace(text, records)
+        write_trace(binary, records, format=FORMAT_BINARY)
+        info_t, info_b = inspect_trace(text), inspect_trace(binary)
+        assert info_t.format == FORMAT_TEXT and info_b.format == FORMAT_BINARY
+        assert info_t.records == info_b.records == len(records)
+        assert info_t.writes == info_b.writes
+        assert info_b.core_count == 16
+        assert info_b.bytes_per_record < info_t.bytes_per_record

@@ -16,10 +16,13 @@ from repro.workloads.base import (
     interleave,
     materialize,
 )
+from repro.workloads import microbench
 from repro.workloads.multiprocess import build_multiprocess_spec, generate_multiprocess
 from repro.workloads.registry import (
+    MICROBENCH_FAMILIES,
     MULTIPROCESS_BENCHMARKS,
     PAPER_BENCHMARKS,
+    all_benchmark_names,
     benchmark_names,
     build_spec,
     build_workload,
@@ -89,6 +92,34 @@ class TestSpecs:
     def test_unknown_benchmark(self):
         with pytest.raises(WorkloadError):
             build_spec("linpack")
+
+    def test_microbench_families_registered(self):
+        assert len(MICROBENCH_FAMILIES) == 4
+        for name in MICROBENCH_FAMILIES:
+            assert is_registered(name)
+            assert build_spec(name).name == name
+        assert all_benchmark_names() == PAPER_BENCHMARKS + sorted(MICROBENCH_FAMILIES)
+        # The paper-facing list stays exactly the paper's eight.
+        assert benchmark_names() == PAPER_BENCHMARKS
+
+    def test_microbench_register_unregister_round_trip(self):
+        builders = {
+            "false-sharing": microbench.false_sharing,
+            "migratory": microbench.migratory,
+            "stream-scan": microbench.stream_scan,
+            "hotspot": microbench.hotspot,
+        }
+        for name in MICROBENCH_FAMILIES:
+            try:
+                unregister(name)
+                assert not is_registered(name)
+                register(name, builders[name])
+                assert is_registered(name)
+            finally:
+                # Restore even if an assert fired mid-way.
+                if not is_registered(name):
+                    register(name, builders[name])
+            assert build_spec(name).name == name
 
     def test_register_and_unregister_custom(self):
         def custom(total_accesses=1000, seed=0):
@@ -189,6 +220,58 @@ class TestGeneration:
             if portfolio.base_vaddr <= record.vaddr < portfolio.base_vaddr + portfolio.size_bytes
         }
         assert touched == {0}
+
+    def test_producer_region_only_written_by_thread_zero(self):
+        # Regression: _pick_instance_and_chunk used to mark producer
+        # regions owned=True for every thread, letting all threads write
+        # data the model documents as init-by-thread-0 then read-shared.
+        spec = build_spec("blackscholes", total_accesses=8000).with_footprint_scale(32)
+        workload = SyntheticWorkload(spec)
+        portfolio = workload._instances["portfolio"][0]
+        start, end = portfolio.base_vaddr, portfolio.base_vaddr + portfolio.size_bytes
+        readers, writers = set(), set()
+        for record in workload._compute_phase():
+            if start <= record.vaddr < end:
+                (writers if record.is_write else readers).add(record.core)
+        assert writers <= {0}
+        assert len(readers) > 1  # still read-shared by the other threads
+
+    def test_migratory_region_written_by_rotating_holders(self):
+        spec = build_spec("migratory", total_accesses=6000).with_footprint_scale(4)
+        workload = SyntheticWorkload(spec)
+        guarded = workload._instances["guarded"][0]
+        start, end = guarded.base_vaddr, guarded.base_vaddr + guarded.size_bytes
+        writers = {
+            record.core
+            for record in workload._compute_phase()
+            if start <= record.vaddr < end and record.is_write
+        }
+        # Ownership migrates: over a long run every thread gets to write.
+        assert writers == set(range(spec.thread_count))
+
+    def test_migratory_writes_come_in_single_holder_bursts(self):
+        # Between handoffs only the current holder writes: the sequence
+        # of writing cores must advance in rotation, never ping-pong.
+        spec = build_spec("migratory", total_accesses=6000).with_footprint_scale(4)
+        workload = SyntheticWorkload(spec)
+        for region_name in ("locks", "guarded"):
+            inst = workload._instances[region_name][0]
+            start, end = inst.base_vaddr, inst.base_vaddr + inst.size_bytes
+            write_cores = [
+                record.core
+                for record in SyntheticWorkload(spec)._compute_phase()
+                if start <= record.vaddr < end and record.is_write
+            ]
+            transitions = [
+                (a, b) for a, b in zip(write_cores, write_cores[1:]) if a != b
+            ]
+            assert transitions, f"{region_name}: expected an ownership handoff"
+            for a, b in transitions:
+                # Ownership only rotates forward.  A holder occasionally
+                # finishes a burst without writing (write_fraction < 1),
+                # so allow a few skipped holders — but never the backward
+                # jumps a write ping-pong between two threads would show.
+                assert (b - a) % spec.thread_count <= 3, (region_name, a, b)
 
     def test_footprint_reported(self):
         workload = build_workload("barnes", total_accesses=1000)
