@@ -1,27 +1,45 @@
-"""Micro-benchmark regression guard for the access fast path.
+"""Hot-path perf gates for both simulation engines, with a persisted trajectory.
 
 Replays a hit-dominated trace (a handful of hot lines, all L1 hits after
-warm-up) and asserts the simulator sustains a minimum accesses/second.
-The floor is deliberately *generous* — the seed implementation reached
-~225k accesses/s on the reference container and the fast path ~340k/s,
-so the default floor of 100k only trips on a real regression (e.g. the
-per-access fast path growing object churn or re-resolving config state),
-not on machine-to-machine noise.
+warm-up) on the **reference** and the **packed** engine, then asserts:
+
+* both engines produce the bit-identical snapshot (a free cross-engine
+  check on exactly the workload shape the packed fast path optimises);
+* the packed engine sustains at least ``REPRO_PERF_MIN_RATE`` accesses/s
+  (an absolute regression floor, generous for machine noise); and
+* the packed engine is at least ``REPRO_PERF_MIN_RATIO`` times faster
+  than the reference engine measured in the same session — a pure
+  ratio, robust to host speed, which is the CI perf-regression gate.
+
+Every measurement is appended to ``BENCH_hotpath.json`` at the repo root
+(see :mod:`repro.analysis.benchlog`), one entry per engine with the git
+sha, so the accesses/s trajectory is visible across PRs and uploadable
+as a CI artifact.
+
+History: the seed implementation reached ~225k accesses/s on the
+reference container, PR 1's fast path ~340k/s, and the packed engine of
+PR 3 ~1.0M/s.
 
 Knobs:
 
-* ``REPRO_SKIP_PERF=1``       — skip entirely (for slow/shared CI hosts).
-* ``REPRO_PERF_MIN_RATE=N``   — override the accesses/second floor.
-* ``REPRO_PERF_ACCESSES=N``   — override the trace length.
+* ``REPRO_SKIP_PERF=1``        — skip entirely (for slow/shared CI hosts).
+* ``REPRO_PERF_MIN_RATE=N``    — packed accesses/second floor (default 100k).
+* ``REPRO_PERF_MIN_RATIO=F``   — packed/reference speed ratio floor
+  (default 2.5; the tentpole target is 3x).
+* ``REPRO_PERF_ACCESSES=N``    — override the trace length.
+* ``REPRO_BENCH_LOG=0``        — do not append to BENCH_hotpath.json.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from pathlib import Path
 
 import pytest
 
+from repro.analysis.benchlog import append_bench_entry
+from repro.stats.compare import assert_snapshots_identical
 from repro.system.config import experiment_config
 from repro.system.simulator import Simulator
 from repro.trace.record import AccessRecord, AccessType
@@ -31,12 +49,17 @@ pytestmark = pytest.mark.skipif(
     reason="REPRO_SKIP_PERF=1 disables the hot-path perf guard",
 )
 
-#: Generous floor (accesses/second); well below the seed implementation.
+#: Generous absolute floor (accesses/second) for the packed engine.
 DEFAULT_MIN_RATE = 100_000.0
+#: Packed/reference speed ratio floor (the CI perf-regression gate).
+DEFAULT_MIN_RATIO = 2.5
 #: Hot-set size in lines; fits the L1 so steady state is all hits.
 HOT_LINES = 16
 LINE_SIZE = 64
 BASE_VADDR = 0x2000_0000
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_LOG = REPO_ROOT / "BENCH_hotpath.json"
 
 
 def _hit_dominated_trace(access_count: int):
@@ -51,24 +74,73 @@ def _hit_dominated_trace(access_count: int):
     ]
 
 
-def test_hit_dominated_access_rate():
+def _timed_run(engine: str, trace, repeats: int = 3):
+    """Run *trace* on a fresh machine *repeats* times; keep the best time.
+
+    Best-of-N suppresses one-off scheduler/frequency noise — the
+    quantity being gated is the engine's attainable rate, not the
+    host's worst moment.  Simulators are single-use, so each repeat
+    rebuilds one (construction is outside the timed region).
+    """
+    best_elapsed = float("inf")
+    result = None
+    for _ in range(repeats):
+        simulator = Simulator(experiment_config("baseline", scale=16), engine=engine)
+        started = time.perf_counter()
+        result = simulator.run(trace, "hot-path-guard")
+        best_elapsed = min(best_elapsed, time.perf_counter() - started)
+    return result, best_elapsed
+
+
+def test_packed_hot_path_rate_and_ratio():
     access_count = int(os.environ.get("REPRO_PERF_ACCESSES", "200000"))
     min_rate = float(os.environ.get("REPRO_PERF_MIN_RATE", str(DEFAULT_MIN_RATE)))
+    min_ratio = float(os.environ.get("REPRO_PERF_MIN_RATIO", str(DEFAULT_MIN_RATIO)))
 
     trace = _hit_dominated_trace(access_count)
-    simulator = Simulator(experiment_config("baseline", scale=16))
+    reference_result, reference_s = _timed_run("reference", trace)
+    packed_result, packed_s = _timed_run("packed", trace)
 
-    started = time.perf_counter()
-    result = simulator.run(trace, "hot-path-guard")
-    elapsed = time.perf_counter() - started
-
-    assert result.accesses_simulated == access_count
+    assert reference_result.accesses_simulated == access_count
+    assert packed_result.accesses_simulated == access_count
     # Steady state must be hit-dominated, otherwise the rate measures the
     # coherence path rather than the fast path.
-    assert result.snapshot.l2_misses < access_count // 100
+    assert packed_result.snapshot.l2_misses < access_count // 100
+    # The engines must agree bit-for-bit on this trace.
+    assert_snapshots_identical(
+        reference_result.snapshot, packed_result.snapshot, context="hot-path"
+    )
 
-    rate = access_count / elapsed
-    assert rate >= min_rate, (
-        f"hot path sustained {rate:,.0f} accesses/s, below the "
+    reference_rate = access_count / reference_s
+    packed_rate = access_count / packed_s
+    ratio = packed_rate / reference_rate
+    print(
+        f"\nhot path: reference {reference_rate:,.0f}/s, "
+        f"packed {packed_rate:,.0f}/s — {ratio:.2f}x"
+    )
+
+    for engine, rate, elapsed in (
+        ("reference", reference_rate, reference_s),
+        ("packed", packed_rate, packed_s),
+    ):
+        append_bench_entry(
+            BENCH_LOG,
+            {
+                "bench": "hot_path",
+                "engine": engine,
+                "accesses": access_count,
+                "elapsed_s": round(elapsed, 4),
+                "accesses_per_s": round(rate, 1),
+                "packed_over_reference": round(ratio, 3),
+            },
+            repo_root=REPO_ROOT,
+        )
+
+    assert packed_rate >= min_rate, (
+        f"packed hot path sustained {packed_rate:,.0f} accesses/s, below the "
         f"{min_rate:,.0f}/s regression floor"
+    )
+    assert ratio >= min_ratio, (
+        f"packed engine is only {ratio:.2f}x the reference engine on the "
+        f"hot path, below the {min_ratio:.2f}x regression gate"
     )

@@ -11,6 +11,10 @@ Both assertions are ratios of quantities measured on the same machine in
 the same process, so they are robust to host speed; the speed floor can
 still be relaxed for noisy shared runners via an environment knob.
 
+Replay timings are appended to ``BENCH_trace.json`` at the repo root
+(one entry per format, with MB/s and the git sha) so the trace-replay
+trajectory is visible across PRs; disable with ``REPRO_BENCH_LOG=0``.
+
 Knobs:
 
 * ``REPRO_SKIP_PERF=1``            — skip the (timing-based) speed gate.
@@ -25,12 +29,17 @@ from __future__ import annotations
 import gc
 import os
 import time
+from pathlib import Path
 
 import pytest
 
+from repro.analysis.benchlog import append_bench_entry
 from repro.trace.io import FORMAT_BINARY, read_trace, write_trace
 from repro.workloads.base import SyntheticWorkload
 from repro.workloads.registry import build_spec
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_LOG = REPO_ROOT / "BENCH_trace.json"
 
 DEFAULT_RECORDS = 1_000_000
 DEFAULT_MIN_SHRINK = 5.0
@@ -102,4 +111,22 @@ def test_binary_replays_2x_faster(trace_pair):
         f"\nreplay of {len(records)} records: text {text_s:.2f}s, "
         f"binary {binary_s:.2f}s — {speedup:.2f}x faster ({rate:,.0f} rec/s)"
     )
+
+    for fmt, path, elapsed in (("text", text, text_s), ("binary", binary, binary_s)):
+        size = path.stat().st_size
+        append_bench_entry(
+            BENCH_LOG,
+            {
+                "bench": "trace_replay",
+                "format": fmt,
+                "records": len(records),
+                "file_bytes": size,
+                "elapsed_s": round(elapsed, 4),
+                "records_per_s": round(len(records) / elapsed, 1),
+                "mb_per_s": round(size / elapsed / 1_000_000, 3),
+                "binary_over_text": round(speedup, 3),
+            },
+            repo_root=REPO_ROOT,
+        )
+
     assert speedup >= min_speedup

@@ -27,6 +27,7 @@ Examples
 ::
 
     python -m repro sweep --plan fig3 --workers 4 --cache-dir .repro-cache
+    python -m repro sweep --plan fig3 --engine reference --cache-dir .repro-cache
     python -m repro sweep --plan fig3 --trace-dir .repro-traces --record-traces
     python -m repro trace record --plan micro --trace-dir .repro-traces
     python -m repro trace replay .repro-traces/<digest>.rpt2 --policy allarm
@@ -58,6 +59,7 @@ from repro.analysis.plan import (
     build_plan,
 )
 from repro.errors import ReproError
+from repro.system.fastcore import DEFAULT_ENGINE, ENGINES
 from repro.version import version_string
 
 
@@ -121,6 +123,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     settings = _settings_from_args(args)
     benchmarks = _parse_benchmarks(args.benchmarks)
     plan = build_plan(args.plan, settings, benchmarks)
+    if args.engine is not None:
+        plan = plan.with_engine(args.engine)
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
     executor = SweepExecutor(
         workers=args.workers,
@@ -129,8 +133,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         record_traces=args.record_traces,
     )
 
+    engines = sorted({spec.engine for spec in plan})
     print(
         f"plan {plan.name!r}: {len(plan)} runs, workers={executor.workers}, "
+        f"engine={'/'.join(engines)}, "
         f"cache={'off' if cache_dir is None else cache_dir}, "
         f"traces={'off' if args.trace_dir is None else args.trace_dir}"
     )
@@ -206,12 +212,14 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         read_trace(args.path),
         workload_name=args.label or args.path,
         max_accesses=args.max_accesses,
+        engine=args.engine,
     )
     elapsed = time.perf_counter() - started
     rate = result.accesses_simulated / elapsed if elapsed > 0 else 0.0
     print(
         f"replayed {result.accesses_simulated} accesses in {elapsed:.2f}s "
-        f"({rate:,.0f}/s) under policy {args.policy!r}"
+        f"({rate:,.0f}/s) under policy {args.policy!r} "
+        f"(engine {result.engine!r})"
     )
     for key, value in result.snapshot.as_dict().items():
         print(f"  {key:<24} {value}")
@@ -301,6 +309,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --trace-dir: capture any missing workload trace before running",
     )
+    sweep.add_argument(
+        "--engine",
+        choices=ENGINES,
+        help=(
+            "simulation engine for every run in the plan "
+            f"(default: {DEFAULT_ENGINE}; engines are verified bit-identical)"
+        ),
+    )
     _add_settings_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -349,6 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--label", help="workload label recorded in the result")
     replay.add_argument(
         "--max-accesses", type=int, help="replay at most this many records"
+    )
+    replay.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help=f"simulation engine (default: {DEFAULT_ENGINE})",
     )
     replay.set_defaults(func=_cmd_trace_replay)
 

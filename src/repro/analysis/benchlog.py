@@ -1,0 +1,138 @@
+"""Persisted benchmark trajectory: append-only perf history files.
+
+The perf benches (``benchmarks/test_perf_hot_path.py`` and
+``benchmarks/test_trace_perf.py``) measure throughput on whatever
+machine runs them; a single number is only meaningful relative to the
+numbers that came before it on comparable hardware.  This module gives
+them a tiny append-only store — ``BENCH_hotpath.json`` and
+``BENCH_trace.json`` at the repository root — so the accesses/s and
+replay-MB/s trajectory is visible across PRs (and uploadable as a CI
+artifact) instead of evaporating with each pytest session.
+
+File format (stable, ``schema`` guards future shape changes)::
+
+    {
+      "schema": 1,
+      "entries": [
+        {"timestamp": "...", "git_sha": "...", "engine": "packed",
+         "accesses_per_s": 1.05e6, ...},
+        ...
+      ]
+    }
+
+Entries are appended, never rewritten; corrupt or stale-schema files are
+replaced rather than crashing the bench.  Set ``REPRO_BENCH_LOG=0`` to
+disable logging entirely (timing numbers from e.g. coverage runs would
+only pollute the trend).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Version of the on-disk trajectory layout.
+BENCH_LOG_SCHEMA = 1
+
+#: Cap on retained entries per file: old history scrolls off rather than
+#: growing the checked-in file without bound.
+MAX_ENTRIES = 400
+
+
+def bench_logging_enabled() -> bool:
+    """True unless ``REPRO_BENCH_LOG=0`` disables trajectory logging."""
+    return os.environ.get("REPRO_BENCH_LOG", "1") != "0"
+
+
+def git_sha(repo_root: Union[str, Path, None] = None) -> str:
+    """Current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root) if repo_root else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def load_bench_log(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a trajectory file, degrading to an empty log on any damage."""
+    empty: Dict[str, object] = {"schema": BENCH_LOG_SCHEMA, "entries": []}
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return empty
+    if (
+        not isinstance(data, dict)
+        or data.get("schema") != BENCH_LOG_SCHEMA
+        or not isinstance(data.get("entries"), list)
+    ):
+        return empty
+    return data
+
+
+def append_bench_entry(
+    path: Union[str, Path],
+    entry: Dict[str, object],
+    repo_root: Union[str, Path, None] = None,
+) -> Optional[Path]:
+    """Append one measurement to the trajectory file at *path*.
+
+    Stamps the entry with an ISO-8601 UTC timestamp and the current git
+    sha (callers add the measurement fields).  The write is atomic
+    (temp file + ``os.replace``), so concurrent bench processes never
+    tear the file — last writer wins, which is fine for an append-only
+    perf log.  Returns the path written, or ``None`` when logging is
+    disabled.
+    """
+    if not bench_logging_enabled():
+        return None
+    path = Path(path)
+    data = load_bench_log(path)
+    stamped = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "git_sha": git_sha(repo_root if repo_root is not None else path.parent),
+    }
+    stamped.update(entry)
+    entries: List[object] = list(data["entries"])
+    entries.append(stamped)
+    data["entries"] = entries[-MAX_ENTRIES:]
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def latest_entry(
+    path: Union[str, Path], **filters: object
+) -> Optional[Dict[str, object]]:
+    """Return the newest entry matching all *filters* (field == value)."""
+    for entry in reversed(load_bench_log(path)["entries"]):
+        if isinstance(entry, dict) and all(
+            entry.get(key) == value for key, value in filters.items()
+        ):
+            return entry
+    return None

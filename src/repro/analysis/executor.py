@@ -83,7 +83,9 @@ def execute_run_spec(spec: RunSpec) -> MachineSnapshot:
     workers; the spec rebuilds its machine configuration and access stream
     deterministically on whatever process it lands.
     """
-    result = simulate(spec.config(), spec.access_stream(), spec.workload_name)
+    result = simulate(
+        spec.config(), spec.access_stream(), spec.workload_name, engine=spec.engine
+    )
     return result.snapshot
 
 

@@ -29,6 +29,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.system.config import DEFAULT_EXPERIMENT_SCALE, SystemConfig, experiment_config
+from repro.system.fastcore import ENGINES, resolve_engine
 from repro.trace.io import read_trace
 from repro.trace.record import AccessRecord
 from repro.workloads.base import SyntheticWorkload
@@ -140,6 +141,15 @@ class RunSpec:
     but it is kept in the spec (and hence in the cache identity) so a
     hand-substituted foreign trace can never alias a generated run's
     cache entry.
+
+    ``engine`` selects the simulation core (``"packed"`` or
+    ``"reference"``; the default honours ``$REPRO_ENGINE``, else
+    packed).  The engines are verified bit-identical, but the
+    field still participates in the cache identity (via
+    :meth:`cache_token`'s ``asdict``) so snapshots produced by the two
+    implementations can never alias each other in the on-disk cache —
+    an engine-difference bug must surface as a test failure, not be
+    masked by a stale cache hit.
     """
 
     benchmark: str
@@ -149,12 +159,20 @@ class RunSpec:
     frames_per_node: Optional[int] = None
     settings: ExperimentSettings = field(default_factory=ExperimentSettings)
     trace_source: Optional[str] = None
+    # Resolved at construction time (not import time) so a plan built
+    # under REPRO_ENGINE=reference really runs — and caches — as reference.
+    engine: str = field(default_factory=lambda: resolve_engine(None))
 
     def __post_init__(self) -> None:
         # Fail at spec construction (plan-build time), not minutes into a
         # sweep when the bad run finally executes.
         if not is_registered(self.benchmark):
             raise ConfigurationError(f"unknown benchmark {self.benchmark!r}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown simulation engine {self.engine!r}; "
+                f"expected one of {ENGINES}"
+            )
         if self.layout not in LAYOUTS:
             raise ConfigurationError(
                 f"unknown layout {self.layout!r}; expected one of {LAYOUTS}"
@@ -186,6 +204,10 @@ class RunSpec:
     def with_trace(self, path) -> "RunSpec":
         """Return a copy that replays the trace at *path* when executed."""
         return replace(self, trace_source=str(path))
+
+    def with_engine(self, engine: str) -> "RunSpec":
+        """Return a copy that runs on a different simulation engine."""
+        return replace(self, engine=engine)
 
     def stream_token(self) -> str:
         """Canonical identity of this spec's *workload stream*.
@@ -238,6 +260,7 @@ class RunSpec:
             "multiprocess_accesses": self.settings.multiprocess_accesses,
             "seed": self.settings.seed,
             "trace_source": self.trace_source,
+            "engine": self.engine,
         }
 
     # ------------------------------------------------------------------
@@ -308,6 +331,13 @@ class SweepPlan:
                 seen.add(spec)
                 specs.append(spec)
         return SweepPlan(name=name or f"{self.name}+{other.name}", specs=tuple(specs))
+
+    def with_engine(self, engine: str) -> "SweepPlan":
+        """Return a copy of the plan with every spec on *engine*."""
+        return SweepPlan(
+            name=self.name,
+            specs=tuple(spec.with_engine(engine) for spec in self.specs),
+        )
 
 
 # ----------------------------------------------------------------------

@@ -3,6 +3,7 @@
 from repro.cache.cache import Cache, CacheLine, CacheStats
 from repro.cache.hierarchy import AccessResult, CacheHierarchy, EvictedLine, HitLevel
 from repro.cache.mshr import MshrEntry, MshrFile, MshrStats
+from repro.cache.packed import PackedCache, PackedHierarchy
 from repro.cache.replacement import (
     LruPolicy,
     RandomPolicy,
@@ -24,6 +25,8 @@ __all__ = [
     "MshrEntry",
     "MshrFile",
     "MshrStats",
+    "PackedCache",
+    "PackedHierarchy",
     "ReplacementPolicy",
     "ReplacementPolicyFactory",
     "LruPolicy",

@@ -59,8 +59,13 @@ class CacheStats:
             return 0.0
         return self.misses / self.accesses
 
-    def as_dict(self) -> Dict[str, float]:
-        """Return the counters as a plain dictionary (for reports)."""
+    def as_dict(self) -> Dict[str, int]:
+        """Return the raw counters (all ints) as a plain dictionary.
+
+        Only event counts live here, so the dictionary JSON round-trips
+        without any int/float coercion; derived rates are available via
+        :meth:`summary`.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -69,8 +74,13 @@ class CacheStats:
             "dirty_evictions": self.dirty_evictions,
             "invalidations_received": self.invalidations_received,
             "upgrades": self.upgrades,
-            "miss_rate": self.miss_rate,
         }
+
+    def summary(self) -> Dict[str, float]:
+        """Counters plus derived rates (for human-facing reports)."""
+        data: Dict[str, float] = dict(self.as_dict())
+        data["miss_rate"] = self.miss_rate
+        return data
 
 
 @dataclass
@@ -127,6 +137,13 @@ class Cache:
         self.associativity = associativity
         self.line_size = line_size
         self.set_count = sets
+        # Memoized tag/index decomposition: line size and set count are
+        # powers of two, so ``// line_size % set_count`` is a shift and a
+        # mask.  These two attributes are the layout contract shared with
+        # the packed engine (repro.cache.packed), which indexes its flat
+        # arrays with the same decomposition.
+        self.line_shift = line_size.bit_length() - 1
+        self.set_mask = sets - 1
         self.stats = CacheStats()
 
         factory = ReplacementPolicyFactory(replacement, seed=seed)
@@ -144,7 +161,7 @@ class Cache:
 
     def set_index(self, line_address: int) -> int:
         """Return the set index for a line-aligned physical address."""
-        return (line_address // self.line_size) % self.set_count
+        return (line_address >> self.line_shift) & self.set_mask
 
     # ------------------------------------------------------------------
     # Lookup / fill / evict
@@ -156,7 +173,7 @@ class Cache:
         and LRU state is refreshed on a hit.  Pass ``False`` for coherence
         probes that should not perturb replacement or hit-rate statistics.
         """
-        cache_set = self._sets[self.set_index(line_address)]
+        cache_set = self._sets[(line_address >> self.line_shift) & self.set_mask]
         for line in cache_set.lines.values():
             if line.line_address == line_address and line.state.is_valid:
                 if update_stats:
@@ -184,12 +201,13 @@ class Cache:
         if not state.is_valid:
             raise ConfigurationError("cannot fill a line in the INVALID state")
         cache_set = self._sets[self.set_index(line_address)]
+        policy = cache_set.policy
 
         existing = self.probe(line_address)
         if existing is not None:
             # Refill of a resident line is a state change, not an allocation.
             existing.state = state
-            cache_set.policy.touch(existing.way)
+            policy.touch(existing.way)
             return None
 
         victim: Optional[CacheLine] = None
@@ -198,16 +216,16 @@ class Cache:
             way = free_ways[0]
         else:
             occupied = sorted(cache_set.lines.keys())
-            way = cache_set.policy.victim(occupied)
+            way = policy.victim(occupied)
             victim = cache_set.lines.pop(way)
-            cache_set.policy.reset(way)
+            policy.reset(way)
             self.stats.evictions += 1
             if victim.dirty:
                 self.stats.dirty_evictions += 1
 
         line = CacheLine(line_address=line_address, state=state, way=way)
         cache_set.lines[way] = line
-        cache_set.policy.touch(way)
+        policy.touch(way)
         self.stats.fills += 1
         return victim
 
@@ -262,11 +280,12 @@ class Cache:
         """
         dirty: List[CacheLine] = []
         for cache_set in self._sets:
+            policy = cache_set.policy
             for way, line in list(cache_set.lines.items()):
                 if line.dirty:
                     dirty.append(line)
                 del cache_set.lines[way]
-                cache_set.policy.reset(way)
+                policy.reset(way)
         return dirty
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -118,6 +118,8 @@ class ProbeFilter:
     ) -> None:
         if coverage_bytes <= 0:
             raise ConfigurationError("probe filter coverage must be positive")
+        if not is_power_of_two(line_size):
+            raise ConfigurationError("probe filter line size must be a power of two")
         if coverage_bytes % (associativity * line_size) != 0:
             raise ConfigurationError(
                 "probe filter coverage must be a multiple of associativity * line_size"
@@ -134,6 +136,9 @@ class ProbeFilter:
         self.line_size = line_size
         self.set_count = set_count
         self.entry_count = entry_count
+        # Memoized index decomposition (same layout contract as Cache).
+        self.line_shift = line_size.bit_length() - 1
+        self.set_mask = set_count - 1
         self.stats = ProbeFilterStats()
         factory = ReplacementPolicyFactory(replacement, seed=seed + node_id)
         self._sets: List[_FilterSet] = [
@@ -143,7 +148,7 @@ class ProbeFilter:
     # ------------------------------------------------------------------
     def set_index(self, line_address: int) -> int:
         """Return the set index for a line-aligned address."""
-        return (line_address // self.line_size) % self.set_count
+        return (line_address >> self.line_shift) & self.set_mask
 
     def lookup(self, line_address: int) -> Optional[ProbeFilterEntry]:
         """Look up a line; counts a read access and hit/miss."""

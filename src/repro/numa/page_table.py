@@ -16,9 +16,13 @@ from typing import Callable, Dict, Iterator, Optional
 from repro.errors import AddressError
 
 
-@dataclass
+@dataclass(slots=True)
 class PageMapping:
-    """One virtual-page to physical-frame mapping."""
+    """One virtual-page to physical-frame mapping.
+
+    Slotted: ``touches`` is incremented on every memoized translation,
+    i.e. once per simulated access.
+    """
 
     virtual_page: int
     physical_frame: int
@@ -28,9 +32,9 @@ class PageMapping:
     migrations: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableStats:
-    """Counters describing page-table activity."""
+    """Counters describing page-table activity (slotted: hot-path counters)."""
 
     mappings_created: int = 0
     lookups: int = 0

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, List, Sequence
 
+from repro.errors import SimulationError
 from repro.stats.snapshot import MachineSnapshot
 
 
@@ -87,6 +88,60 @@ class RunComparison:
             "eviction_reduction": self.eviction_reduction,
             "traffic_reduction": self.traffic_reduction,
         }
+
+
+def snapshot_diff(
+    expected: MachineSnapshot, actual: MachineSnapshot
+) -> List[str]:
+    """Field-by-field differences between two snapshots.
+
+    The cross-engine verification differ: an empty list means the
+    snapshots are bit-identical (every scalar, every per-node counter,
+    every message-type count — the same equality
+    ``to_json``/``from_json`` round-trips preserve).  Each returned
+    string names one differing field with both values, so an engine
+    divergence reads as a protocol diagnosis rather than a bare
+    ``assert a == b`` failure.
+    """
+    diffs: List[str] = []
+    expected_dict = expected.to_dict()
+    actual_dict = actual.to_dict()
+    for key in sorted(set(expected_dict) | set(actual_dict)):
+        if key == "nodes":
+            continue
+        left, right = expected_dict.get(key), actual_dict.get(key)
+        if left != right:
+            diffs.append(f"{key}: {left!r} != {right!r}")
+
+    left_nodes = expected_dict.get("nodes", [])
+    right_nodes = actual_dict.get("nodes", [])
+    if len(left_nodes) != len(right_nodes):
+        diffs.append(f"nodes: {len(left_nodes)} entries != {len(right_nodes)}")
+        return diffs
+    for index, (left, right) in enumerate(zip(left_nodes, right_nodes)):
+        for key in sorted(set(left) | set(right)):
+            if left.get(key) != right.get(key):
+                diffs.append(
+                    f"nodes[{index}].{key}: {left.get(key)!r} != {right.get(key)!r}"
+                )
+    return diffs
+
+
+def assert_snapshots_identical(
+    expected: MachineSnapshot, actual: MachineSnapshot, context: str = ""
+) -> None:
+    """Raise :class:`~repro.errors.SimulationError` unless bit-identical.
+
+    Used by the cross-engine equivalence suite and available to any
+    harness that runs the same spec on both engines.
+    """
+    diffs = snapshot_diff(expected, actual)
+    if diffs:
+        prefix = f"{context}: " if context else ""
+        raise SimulationError(
+            f"{prefix}snapshots differ in {len(diffs)} field(s):\n  "
+            + "\n  ".join(diffs)
+        )
 
 
 def summarize_speedups(comparisons: Iterable[RunComparison]) -> float:

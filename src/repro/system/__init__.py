@@ -11,6 +11,13 @@ from repro.system.config import (
     scaled_config,
 )
 from repro.system.event_queue import EventQueue
+from repro.system.fastcore import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    PackedMachine,
+    build_machine,
+    resolve_engine,
+)
 from repro.system.machine import Machine
 from repro.system.node import CoreClock, Node
 from repro.system.simulator import SimulationResult, Simulator, simulate
@@ -25,6 +32,11 @@ __all__ = [
     "scaled_config",
     "experiment_config",
     "Machine",
+    "PackedMachine",
+    "build_machine",
+    "resolve_engine",
+    "ENGINES",
+    "DEFAULT_ENGINE",
     "Node",
     "CoreClock",
     "Simulator",

@@ -1,0 +1,209 @@
+"""The packed simulation engine: :class:`PackedMachine` and engine selection.
+
+Two engines can drive the paper's evaluation:
+
+* ``"reference"`` — the original :class:`~repro.system.machine.Machine`
+  over the dataclass/dict cache model.  Clear, introspectable, slow.
+* ``"packed"`` — :class:`PackedMachine`, which swaps every node's cache
+  hierarchy for the flat-array :class:`~repro.cache.packed.PackedHierarchy`
+  and services the hit-dominated common case with index arithmetic
+  inlined straight into :meth:`PackedMachine.perform_access`.  Misses,
+  upgrades, directory transactions, probe-filter evictions, NUMA
+  remaps and eviction-notification corner modes all fall through to the
+  *shared* reference machinery (`Machine._service_miss`, the directory
+  controller, the network), so the rare structural paths have exactly
+  one implementation.
+
+The two engines must produce **bit-identical**
+:class:`~repro.stats.snapshot.MachineSnapshot`\\ s for any config and
+access stream; ``tests/test_cross_engine.py`` enforces this across the
+policy × probe-filter-size × eviction-mode grid on every registered
+workload family.  ``packed`` is the default engine; set
+``REPRO_ENGINE=reference`` (or pass ``engine="reference"``) to fall back.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.cache.packed import ACCESS_MISS, POLICY_LRU, POLICY_PLRU, PackedHierarchy, plru_touch
+from repro.errors import ConfigurationError
+from repro.system.config import SystemConfig
+from repro.system.machine import Machine
+
+#: Engine names accepted everywhere an engine can be chosen.
+ENGINES = ("reference", "packed")
+
+#: The engine used when none is requested (verified bit-identical to the
+#: reference engine; see docs/performance.md).
+DEFAULT_ENGINE = "packed"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an engine name, defaulting from ``$REPRO_ENGINE``.
+
+    ``None`` resolves to the ``REPRO_ENGINE`` environment variable when
+    set, else :data:`DEFAULT_ENGINE`.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown simulation engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
+def build_machine(config: SystemConfig, engine: Optional[str] = None) -> Machine:
+    """Build the machine implementation for *engine* (default: packed)."""
+    if resolve_engine(engine) == "packed":
+        return PackedMachine(config)
+    return Machine(config)
+
+
+class PackedMachine(Machine):
+    """The reference machine over packed cache arrays, with an inlined hot path.
+
+    Construction, the directory/NUMA/network components, miss servicing
+    and eviction handling are all inherited; only the node hierarchies
+    (via :attr:`hierarchy_class`) and the per-access entry point differ.
+    """
+
+    hierarchy_class = PackedHierarchy
+
+    def __init__(self, config: SystemConfig) -> None:
+        super().__init__(config)
+        # Hot-path bindings: one list index replaces the node -> caches ->
+        # l1 attribute chain, and the line shift/mask pair replaces the
+        # div/mod set arithmetic.  The arrays themselves live on the
+        # PackedCache objects and are mutated in place, so these aliases
+        # never go stale.
+        self._l1d = [node.caches.l1d for node in self.nodes]
+        self._l1i = [node.caches.l1i for node in self.nodes]
+        self._clocks = [node.clock for node in self.nodes]
+        self._core_count = len(self.nodes)
+        self._line_shift = config.line_size.bit_length() - 1
+        # Alias of the allocator's translation memo (mutated in place,
+        # never rebound) so the fast path can service a warm translation
+        # without a call.  The memo-hit body below must mirror
+        # NumaAllocator.translate exactly — including the per-page stat
+        # upkeep; the allocator's own affinity check is subsumed by this
+        # method's core bounds check (machine-built allocators map every
+        # in-range core to a node).
+        self._translation_memo = self.allocator._translation_cache
+        self._page_size = config.os.page_size
+        if config.core.replacement == "lru":
+            # LRU (the Table I default) gets a branch-free specialisation;
+            # the instance attribute shadows the generic method below.
+            self.perform_access = self._perform_access_lru
+
+    def perform_access(
+        self,
+        core: int,
+        process_id: int,
+        vaddr: int,
+        is_write: bool,
+        is_instruction: bool = False,
+    ) -> float:
+        """Execute one memory access on *core*; return its latency in ns.
+
+        Behaviourally identical to :meth:`Machine.perform_access` (same
+        counters, same replacement decisions, same latencies); the L1
+        read hit — the overwhelmingly common case on the paper's
+        workloads — completes after one memoized translation and one
+        C-level ``array.index`` scan, with LRU touched by a single
+        stamp store.
+        """
+        nodes = self.nodes
+        if core < 0 or core >= len(nodes):
+            raise ConfigurationError(
+                f"core {core} out of range for a {len(nodes)}-core machine"
+            )
+        node = nodes[core]
+        paddr = self._translate(process_id, core, vaddr)
+        line_paddr = paddr & self._line_mask
+        node.clock.memory_accesses += 1
+
+        l1 = (self._l1i if is_instruction else self._l1d)[core]
+        assoc = l1.associativity
+        base = ((line_paddr >> self._line_shift) & l1.set_mask) * assoc
+        try:
+            slot = l1.tags.index(line_paddr, base, base + assoc)
+        except ValueError:
+            slot = -1
+        if slot >= 0 and not is_write:
+            # L1 read hit: count, stamp, done.
+            l1.hits += 1
+            kind = l1.kind
+            if kind == POLICY_LRU:
+                stamp = l1.stamp + 1
+                l1.stamp = stamp
+                l1.stamps[slot] = stamp
+            elif kind == POLICY_PLRU:
+                set_index = base // assoc
+                l1.plru_bits[set_index] = plru_touch(
+                    l1.plru_bits[set_index], slot - base, assoc
+                )
+            return self._cache_latency
+
+        code = node.caches.access_fast(line_paddr, is_write, is_instruction, slot)
+        if code < ACCESS_MISS:
+            return self._cache_latency
+        return self._service_miss(
+            node, core, line_paddr, is_write, is_instruction, code > ACCESS_MISS
+        )
+
+    def _perform_access_lru(
+        self,
+        core: int,
+        process_id: int,
+        vaddr: int,
+        is_write: bool,
+        is_instruction: bool = False,
+    ) -> float:
+        """LRU-specialised :meth:`perform_access` (identical behaviour)."""
+        if core < 0 or core >= self._core_count:
+            raise ConfigurationError(
+                f"core {core} out of range for a {self._core_count}-core machine"
+            )
+        page_size = self._page_size
+        vpage = vaddr // page_size
+        entry = self._translation_memo.get((process_id, vpage))
+        if entry is not None:
+            frame_base, mapping, table_stats = entry
+            table_stats.lookups += 1
+            mapping.touches += 1
+            paddr = frame_base + (vaddr - vpage * page_size)
+        else:
+            paddr = self._translate(process_id, core, vaddr)
+        line_paddr = paddr & self._line_mask
+        self._clocks[core].memory_accesses += 1
+
+        l1 = (self._l1i if is_instruction else self._l1d)[core]
+        assoc = l1.associativity
+        base = ((line_paddr >> self._line_shift) & l1.set_mask) * assoc
+        try:
+            slot = l1.tags.index(line_paddr, base, base + assoc)
+        except ValueError:
+            slot = -1
+        if slot >= 0 and not is_write:
+            l1.hits += 1
+            stamp = l1.stamp + 1
+            l1.stamp = stamp
+            l1.stamps[slot] = stamp
+            return self._cache_latency
+
+        node = self.nodes[core]
+        code = node.caches.access_fast(line_paddr, is_write, is_instruction, slot)
+        if code < ACCESS_MISS:
+            return self._cache_latency
+        return self._service_miss(
+            node, core, line_paddr, is_write, is_instruction, code > ACCESS_MISS
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedMachine(nodes={len(self.nodes)}, "
+            f"policy={self.config.directory_policy})"
+        )

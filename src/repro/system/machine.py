@@ -36,6 +36,12 @@ class Machine:
         System description; see :class:`repro.system.config.SystemConfig`.
     """
 
+    #: Cache-hierarchy implementation each node is built with.  The packed
+    #: engine (:class:`repro.system.fastcore.PackedMachine`) swaps in the
+    #: array-backed hierarchy here; everything else — directory, network,
+    #: NUMA, memory — is shared between the engines.
+    hierarchy_class = CacheHierarchy
+
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.address_map = config.address_map()
@@ -76,7 +82,7 @@ class Machine:
     # ------------------------------------------------------------------
     def _build_node(self, node_id: int) -> Node:
         cfg = self.config
-        caches = CacheHierarchy(
+        caches = self.hierarchy_class(
             core_id=node_id,
             l1i_size=cfg.core.l1i_size,
             l1d_size=cfg.core.l1d_size,
@@ -191,7 +197,9 @@ class Machine:
         node.clock.memory_accesses += 1
         if not result.needs_coherence:
             return self._cache_latency
-        return self._service_miss(node, core, line_paddr, is_write, is_instruction, result)
+        return self._service_miss(
+            node, core, line_paddr, is_write, is_instruction, result.needs_upgrade
+        )
 
     def _service_miss(
         self,
@@ -200,7 +208,7 @@ class Machine:
         line_paddr: int,
         is_write: bool,
         is_instruction: bool,
-        result,
+        needs_upgrade: bool,
     ) -> float:
         """Coherence slow path: directory transaction, fill and evictions."""
         kind = RequestKind.WRITE if is_write else RequestKind.READ
@@ -208,7 +216,7 @@ class Machine:
         outcome = home.service_request(core, line_paddr, kind)
         self.transactions_serviced += 1
 
-        if result.needs_upgrade:
+        if needs_upgrade:
             # The line is already resident; only its state changes.
             node.caches.l2.set_state(line_paddr, outcome.fill_state)
             for l1 in (node.caches.l1i, node.caches.l1d):

@@ -18,6 +18,7 @@ from typing import Iterable, Optional
 from repro.errors import SimulationError
 from repro.stats.snapshot import MachineSnapshot, collect
 from repro.system.config import SystemConfig
+from repro.system.fastcore import build_machine, resolve_engine
 from repro.system.machine import Machine
 from repro.trace.record import AccessRecord, AccessType
 
@@ -30,6 +31,7 @@ class SimulationResult:
     snapshot: MachineSnapshot
     accesses_simulated: int
     workload_name: str = ""
+    engine: str = ""
 
     @property
     def execution_time_ns(self) -> float:
@@ -43,11 +45,23 @@ class SimulationResult:
 
 
 class Simulator:
-    """Drives one machine through one access trace."""
+    """Drives one machine through one access trace.
 
-    def __init__(self, config: SystemConfig) -> None:
+    Parameters
+    ----------
+    config:
+        Machine description.
+    engine:
+        Simulation engine: ``"packed"`` (the default; flat-array cache
+        state, see :mod:`repro.system.fastcore`) or ``"reference"``.
+        Both produce bit-identical snapshots; ``None`` defers to the
+        ``REPRO_ENGINE`` environment variable.
+    """
+
+    def __init__(self, config: SystemConfig, engine: Optional[str] = None) -> None:
         self.config = config
-        self.machine = Machine(config)
+        self.engine = resolve_engine(engine)
+        self.machine = build_machine(config, self.engine)
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -77,7 +91,7 @@ class Simulator:
         # machine's access fast path dominate sweep wall-clock time.
         work_per_access = self.config.core.cpu_work_per_access_ns
         core_count = self.config.core_count
-        nodes = self.machine.nodes
+        clocks = [node.clock for node in self.machine.nodes]
         perform_access = self.machine.perform_access
         write_type = AccessType.WRITE
         instruction_type = AccessType.INSTRUCTION
@@ -92,7 +106,7 @@ class Simulator:
                     f"trace references core {core} but the machine has "
                     f"{core_count} cores"
                 )
-            clock = nodes[core].clock
+            clock = clocks[core]
             clock.instructions += 1
             clock.now_ns += work_per_access
             access_type = record.access_type
@@ -114,6 +128,7 @@ class Simulator:
             snapshot=snapshot,
             accesses_simulated=count,
             workload_name=workload_name,
+            engine=self.engine,
         )
 
 def simulate(
@@ -121,8 +136,9 @@ def simulate(
     accesses: Iterable[AccessRecord],
     workload_name: str = "",
     max_accesses: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it once."""
-    return Simulator(config).run(
+    return Simulator(config, engine=engine).run(
         accesses, workload_name=workload_name, max_accesses=max_accesses
     )

@@ -225,7 +225,29 @@ class TestCacheBasics:
         cache.fill(0x100, LineState.SHARED)
         cache.lookup(0x100)
         assert cache.stats.miss_rate == pytest.approx(0.5)
-        assert cache.stats.as_dict()["miss_rate"] == pytest.approx(0.5)
+        assert cache.stats.summary()["miss_rate"] == pytest.approx(0.5)
+
+    def test_as_dict_is_pure_int_counters(self):
+        # Regression: as_dict() used to mix int counters with the derived
+        # float miss_rate under a Dict[str, float] annotation, so snapshot
+        # JSON round-trips silently coerced counter types.  Counters and
+        # derived rates are now split between as_dict() and summary().
+        import json
+
+        cache = self.make_cache()
+        cache.lookup(0x100)
+        cache.fill(0x100, LineState.SHARED)
+        cache.lookup(0x100)
+
+        counters = cache.stats.as_dict()
+        assert "miss_rate" not in counters
+        assert all(type(value) is int for value in counters.values())
+        round_tripped = json.loads(json.dumps(counters))
+        assert round_tripped == counters
+        assert all(type(value) is int for value in round_tripped.values())
+
+        summary = cache.stats.summary()
+        assert set(summary) == set(counters) | {"miss_rate"}
 
 
 class TestCacheProperties:

@@ -1,0 +1,345 @@
+"""Packed-layout parity: PackedCache/PackedHierarchy vs the reference.
+
+The packed engine's contract is *bit-identical behaviour*, not just
+identical snapshots: for any op sequence, a :class:`PackedCache` must
+make the same replacement decisions (same victim **ways**, under the
+same tie-breaking quirks), count the same stats and report the same
+resident state as a :class:`Cache` built with the same parameters.
+These tests drive both implementations op-for-op and compare after
+every step, for every replacement policy — including the documented
+reference subtleties:
+
+* LRU prefers an occupied-but-never-touched way, scanning occupied ways
+  in ascending order;
+* tree-PLRU walks bits toward the pseudo-LRU half, with untouched
+  internal nodes defaulting left;
+* random replacement draws from a per-set RNG seeded
+  ``seed + set_index + 1``, consuming exactly one ``choice`` per
+  eviction.
+
+MSHR merge/full semantics are exercised through the packed hierarchy to
+pin that the packed layout did not change miss-tracking behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.packed import PackedCache, PackedHierarchy
+from repro.coherence.states import LineState
+from repro.coherence.transactions import RequestKind
+from repro.errors import ConfigurationError
+
+POLICIES = ("lru", "plru", "random")
+VALID_STATES = (
+    LineState.MODIFIED,
+    LineState.OWNED,
+    LineState.EXCLUSIVE,
+    LineState.SHARED,
+)
+
+
+def make_pair(policy: str, seed: int = 5, associativity: int = 4):
+    """A (reference, packed) cache pair with identical parameters."""
+    kwargs = dict(
+        size_bytes=2048,
+        associativity=associativity,
+        line_size=64,
+        replacement=policy,
+        seed=seed,
+    )
+    return Cache("ref", **kwargs), PackedCache("ref", **kwargs)
+
+
+def resident_view(cache) -> dict:
+    """Address -> (state, way) for every resident line."""
+    return {
+        line.line_address: (line.state, line.way)
+        for line in cache.resident_lines()
+    }
+
+
+def assert_same_state(reference: Cache, packed: PackedCache) -> None:
+    assert resident_view(reference) == resident_view(packed)
+    assert reference.stats.as_dict() == packed.stats.as_dict()
+    assert reference.occupancy() == packed.occupancy()
+
+
+class TestPackedCacheParity:
+    """Randomized op-for-op equivalence, checked after every operation."""
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_random_op_sequences(self, policy, seed):
+        reference, packed = make_pair(policy, seed=seed)
+        rng = random.Random(1000 + seed)
+        # A small address pool over few sets forces constant conflicts.
+        addresses = [line * 64 for line in range(24)]
+
+        for _ in range(600):
+            op = rng.randrange(6)
+            address = rng.choice(addresses)
+            if op <= 1:
+                state = rng.choice(VALID_STATES)
+                left = reference.fill(address, state)
+                right = packed.fill(address, state)
+                if left is None:
+                    assert right is None
+                else:
+                    assert (left.line_address, left.state, left.way) == (
+                        right.line_address,
+                        right.state,
+                        right.way,
+                    )
+            elif op == 2:
+                left = reference.lookup(address)
+                right = packed.lookup(address)
+                assert (left is None) == (right is None)
+                if left is not None:
+                    assert (left.state, left.way) == (right.state, right.way)
+            elif op == 3:
+                left = reference.invalidate(address)
+                right = packed.invalidate(address)
+                assert (left is None) == (right is None)
+                if left is not None:
+                    assert (left.state, left.way) == (right.state, right.way)
+            elif op == 4:
+                if reference.contains(address):
+                    state = rng.choice(VALID_STATES)
+                    left = reference.set_state(address, state)
+                    right = packed.set_state(address, state)
+                    assert (left.state, left.way) == (right.state, right.way)
+                else:
+                    assert not packed.contains(address)
+            else:
+                left = reference.probe(address)
+                right = packed.probe(address)
+                assert (left is None) == (right is None)
+            assert_same_state(reference, packed)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_flush_parity(self, policy):
+        reference, packed = make_pair(policy)
+        rng = random.Random(3)
+        for _ in range(40):
+            address = rng.randrange(32) * 64
+            state = rng.choice(VALID_STATES)
+            reference.fill(address, state)
+            packed.fill(address, state)
+        left = {(l.line_address, l.state) for l in reference.flush()}
+        right = {(l.line_address, l.state) for l in packed.flush()}
+        assert left == right
+        assert reference.occupancy() == packed.occupancy() == 0
+        # Post-flush behaviour must continue in lock-step (policy state
+        # was reset identically).
+        for _ in range(40):
+            address = rng.randrange(32) * 64
+            state = rng.choice(VALID_STATES)
+            lv, rv = reference.fill(address, state), packed.fill(address, state)
+            assert (lv is None) == (rv is None)
+            assert_same_state(reference, packed)
+
+
+class TestReplacementTieBreaking:
+    """The reference tie-break quirks, pinned explicitly on both engines."""
+
+    def _caches(self, policy, associativity=4):
+        return make_pair(policy, seed=9, associativity=associativity)
+
+    def test_lru_oldest_fill_evicted_from_way_zero(self):
+        for cache in self._caches("lru"):
+            set0 = [line * 64 * (2048 // (4 * 64)) for line in range(5)]
+            for address in set0[:4]:
+                cache.fill(address, LineState.EXCLUSIVE)
+            victim = cache.fill(set0[4], LineState.EXCLUSIVE)
+            # Pure LRU: the first-filled line is the victim, in way 0.
+            assert victim.line_address == set0[0]
+            assert victim.way == 0
+
+    def test_lru_victim_is_least_recent_after_touches(self):
+        reference, packed = self._caches("lru")
+        step = 2048 // (4 * 64) * 64  # one set's stride
+        lines = [index * step for index in range(4)]
+        for cache in (reference, packed):
+            for address in lines:
+                cache.fill(address, LineState.SHARED)
+            # Touch way 0 and 1 again: way 2's line becomes LRU.
+            cache.lookup(lines[0])
+            cache.lookup(lines[1])
+        lv = reference.fill(5 * step, LineState.SHARED)
+        rv = packed.fill(5 * step, LineState.SHARED)
+        assert lv.way == rv.way == 2
+        assert lv.line_address == rv.line_address == lines[2]
+
+    def test_plru_victim_sequence_parity(self):
+        reference, packed = self._caches("plru")
+        step = 2048 // (4 * 64) * 64
+        rng = random.Random(11)
+        for index in range(4):
+            reference.fill(index * step, LineState.SHARED)
+            packed.fill(index * step, LineState.SHARED)
+        for round_number in range(4, 40):
+            # Random touches perturb the tree identically on both sides.
+            touched = rng.randrange(round_number - 4, round_number)
+            reference.lookup(touched * step)
+            packed.lookup(touched * step)
+            lv = reference.fill(round_number * step, LineState.SHARED)
+            rv = packed.fill(round_number * step, LineState.SHARED)
+            assert (lv.line_address, lv.way) == (rv.line_address, rv.way)
+
+    @pytest.mark.parametrize("seed", [0, 3, 17])
+    def test_random_policy_same_seed_same_victims(self, seed):
+        reference, packed = make_pair("random", seed=seed)
+        step = 2048 // (4 * 64) * 64
+        left_victims, right_victims = [], []
+        for index in range(40):
+            lv = reference.fill(index * step, LineState.SHARED)
+            rv = packed.fill(index * step, LineState.SHARED)
+            left_victims.append((lv.line_address, lv.way) if lv else None)
+            right_victims.append((rv.line_address, rv.way) if rv else None)
+        assert left_victims == right_victims
+        # Different seeds must (with overwhelming likelihood) diverge —
+        # guards against a packed RNG that ignores its seed.
+        other_ref, other_packed = make_pair("random", seed=seed + 100)
+        other = [
+            (v.line_address, v.way) if v else None
+            for v in (other_ref.fill(i * step, LineState.SHARED) for i in range(40))
+        ]
+        assert other != left_victims
+        del other_packed
+
+
+class TestPackedHierarchyParity:
+    def make_hierarchies(self, policy="lru"):
+        kwargs = dict(
+            core_id=2,
+            l1i_size=1024,
+            l1d_size=1024,
+            l1_assoc=4,
+            l2_size=2048,
+            l2_assoc=4,
+            line_size=64,
+            replacement=policy,
+        )
+        return CacheHierarchy(**kwargs), PackedHierarchy(**kwargs)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_access_fill_invalidate_streams(self, policy):
+        reference, packed = self.make_hierarchies(policy)
+        rng = random.Random(42)
+        addresses = [line * 64 for line in range(48)]
+        for _ in range(800):
+            op = rng.randrange(10)
+            address = rng.choice(addresses)
+            if op < 6:
+                is_write = rng.random() < 0.3
+                is_instruction = rng.random() < 0.1
+                left = reference.access(address, is_write, is_instruction)
+                right = packed.access(address, is_write, is_instruction)
+                assert left == right
+                if left.needs_coherence and not left.needs_upgrade:
+                    state = (
+                        LineState.MODIFIED if is_write else rng.choice(VALID_STATES)
+                    )
+                    lv = reference.fill(address, state, is_instruction)
+                    rv = packed.fill(address, state, is_instruction)
+                    assert lv == rv
+            elif op < 8:
+                assert reference.handle_invalidate(
+                    address
+                ) == packed.handle_invalidate(address)
+            else:
+                assert reference.handle_downgrade(
+                    address
+                ) == packed.handle_downgrade(address)
+            assert reference.coherence_state(address) is packed.coherence_state(
+                address
+            )
+        for left_cache, right_cache in (
+            (reference.l1i, packed.l1i),
+            (reference.l1d, packed.l1d),
+            (reference.l2, packed.l2),
+        ):
+            assert left_cache.stats.as_dict() == right_cache.stats.as_dict()
+            assert resident_view(left_cache) == resident_view(right_cache)
+        assert reference.total_accesses() == packed.total_accesses()
+        assert reference.l2_misses() == packed.l2_misses()
+
+    def test_inclusion_violation_raises_on_l1_write_hit(self):
+        _, packed = self.make_hierarchies()
+        packed.access(0x100, False)
+        packed.fill(0x100, LineState.EXCLUSIVE)
+        # Corrupt the hierarchy: drop the line from L2 only.
+        packed.l2.invalidate(0x100)
+        with pytest.raises(ConfigurationError, match="inclusion violated"):
+            packed.access(0x100, True)
+
+
+class TestMshrUnderPackedLayout:
+    """MSHR merge/full semantics are layout-independent."""
+
+    def test_merge_and_full_behaviour_matches_reference(self):
+        reference = CacheHierarchy(core_id=0, mshr_capacity=2).mshrs
+        packed = PackedHierarchy(core_id=0, mshr_capacity=2).mshrs
+        for mshrs in (reference, packed):
+            first = mshrs.allocate(0x100, RequestKind.READ)
+            merged = mshrs.allocate(0x100, RequestKind.WRITE)
+            assert merged is first
+            assert merged.merged_count == 2
+            assert merged.needs_write
+            mshrs.allocate(0x140, RequestKind.READ)
+            assert mshrs.is_full
+            with pytest.raises(ConfigurationError, match="MSHR file full"):
+                mshrs.allocate(0x180, RequestKind.READ)
+        assert reference.stats.__dict__ == packed.stats.__dict__
+
+    def test_release_and_drain_parity(self):
+        reference = CacheHierarchy(core_id=1).mshrs
+        packed = PackedHierarchy(core_id=1).mshrs
+        for mshrs in (reference, packed):
+            mshrs.allocate(0x200, RequestKind.READ)
+            mshrs.allocate(0x240, RequestKind.WRITE)
+            released = mshrs.release(0x200)
+            assert released.line_address == 0x200
+            drained = mshrs.drain()
+            assert [entry.line_address for entry in drained] == [0x240]
+            assert mshrs.occupancy == 0
+        assert reference.stats.__dict__ == packed.stats.__dict__
+
+
+class TestPackedCacheConstruction:
+    def test_validation_matches_reference(self):
+        for bad in (
+            dict(size_bytes=0, associativity=4),
+            dict(size_bytes=2048, associativity=0),
+            dict(size_bytes=2048, associativity=4, line_size=48),
+            dict(size_bytes=2000, associativity=4),
+            dict(size_bytes=3 * 64 * 4, associativity=4),
+        ):
+            kwargs = dict(line_size=64, replacement="lru")
+            kwargs.update(bad)
+            with pytest.raises(ConfigurationError):
+                Cache("bad", **kwargs)
+            with pytest.raises(ConfigurationError):
+                PackedCache("bad", **kwargs)
+
+    def test_plru_requires_power_of_two_associativity(self):
+        with pytest.raises(ConfigurationError):
+            PackedCache("bad", 64 * 3 * 8, 3, replacement="plru")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PackedCache("bad", 2048, 4, replacement="mru")
+
+    def test_layout_contract_attributes_match_reference(self):
+        # The memoized decomposition attributes are the layout contract
+        # both engines share.
+        reference, packed = make_pair("lru")
+        assert reference.line_shift == packed.line_shift
+        assert reference.set_mask == packed.set_mask
+        for address in (0x0, 0x1240, 0xFFFF40):
+            assert reference.set_index(address) == packed.set_index(address)
