@@ -20,14 +20,25 @@ History: the seed implementation reached ~225k accesses/s on the
 reference container, PR 1's fast path ~340k/s, and the packed engine of
 PR 3 ~1.0M/s.
 
+A second gate covers the **miss path**: the miss-heavy micro families
+(false-sharing, migratory, hotspot) replay on both engines and the
+packed engine must hold at least ``REPRO_PERF_MISS_MIN_RATIO`` (default
+1.5x) on every family — the workloads that degenerated to reference
+speed before the packed directory fast path existed.  Each family/engine
+measurement is appended to the same trajectory with ``bench:
+"miss_path"``.
+
 Knobs:
 
-* ``REPRO_SKIP_PERF=1``        — skip entirely (for slow/shared CI hosts).
-* ``REPRO_PERF_MIN_RATE=N``    — packed accesses/second floor (default 100k).
-* ``REPRO_PERF_MIN_RATIO=F``   — packed/reference speed ratio floor
+* ``REPRO_SKIP_PERF=1``            — skip entirely (for slow/shared CI hosts).
+* ``REPRO_PERF_MIN_RATE=N``        — packed accesses/second floor (default 100k).
+* ``REPRO_PERF_MIN_RATIO=F``       — packed/reference hot-path ratio floor
   (default 2.5; the tentpole target is 3x).
-* ``REPRO_PERF_ACCESSES=N``    — override the trace length.
-* ``REPRO_BENCH_LOG=0``        — do not append to BENCH_hotpath.json.
+* ``REPRO_PERF_MISS_MIN_RATIO=F``  — packed/reference miss-path ratio floor
+  per miss-heavy family (default 1.5).
+* ``REPRO_PERF_ACCESSES=N``        — override the hot-path trace length.
+* ``REPRO_PERF_MISS_ACCESSES=N``   — override the per-family miss trace length.
+* ``REPRO_BENCH_LOG=0``            — do not append to BENCH_hotpath.json.
 """
 
 from __future__ import annotations
@@ -53,6 +64,10 @@ pytestmark = pytest.mark.skipif(
 DEFAULT_MIN_RATE = 100_000.0
 #: Packed/reference speed ratio floor (the CI perf-regression gate).
 DEFAULT_MIN_RATIO = 2.5
+#: Packed/reference ratio floor on each miss-heavy family.
+DEFAULT_MISS_MIN_RATIO = 1.5
+#: The families whose misses the packed directory fast path targets.
+MISS_HEAVY_FAMILIES = ("false-sharing", "migratory", "hotspot")
 #: Hot-set size in lines; fits the L1 so steady state is all hits.
 HOT_LINES = 16
 LINE_SIZE = 64
@@ -143,4 +158,94 @@ def test_packed_hot_path_rate_and_ratio():
     assert ratio >= min_ratio, (
         f"packed engine is only {ratio:.2f}x the reference engine on the "
         f"hot path, below the {min_ratio:.2f}x regression gate"
+    )
+
+
+def _timed_family_run(engine: str, config, records, repeats: int = 2):
+    """Best-of-N replay of a materialised family stream on one engine."""
+    best_elapsed = float("inf")
+    result = None
+    machine = None
+    for _ in range(repeats):
+        simulator = Simulator(config, engine=engine)
+        started = time.perf_counter()
+        result = simulator.run(records, "miss-path-guard")
+        best_elapsed = min(best_elapsed, time.perf_counter() - started)
+        machine = simulator.machine
+    return result, best_elapsed, machine
+
+
+def test_packed_miss_path_rate_and_ratio():
+    """Miss-heavy families: packed must beat reference on its miss path.
+
+    Before the packed directory fast path these families fell back to
+    the reference machinery on (almost) every access and the in-session
+    ratio sat near 1x; the gate pins the recovered speedup per family
+    and verifies the fast path actually carried the misses.
+    """
+    from repro.analysis.plan import ExperimentSettings, RunSpec
+
+    access_count = int(os.environ.get("REPRO_PERF_MISS_ACCESSES", "30000"))
+    min_ratio = float(
+        os.environ.get("REPRO_PERF_MISS_MIN_RATIO", str(DEFAULT_MISS_MIN_RATIO))
+    )
+    settings = ExperimentSettings(
+        scale=16, accesses=access_count, multiprocess_accesses=access_count, seed=0
+    )
+
+    ratios = {}
+    for family in MISS_HEAVY_FAMILIES:
+        spec = RunSpec(family, "allarm", settings=settings)
+        records = list(spec.access_stream())
+        config = spec.config()
+        reference_result, reference_s, _ = _timed_family_run(
+            "reference", config, records
+        )
+        packed_result, packed_s, machine = _timed_family_run(
+            "packed", config, records
+        )
+
+        # The engines must agree bit-for-bit, the workload must really be
+        # miss-heavy, and the packed engine must have serviced misses on
+        # its fast path rather than deferring wholesale.
+        assert_snapshots_identical(
+            reference_result.snapshot,
+            packed_result.snapshot,
+            context=f"miss-path/{family}",
+        )
+        assert packed_result.snapshot.l2_misses > len(records) // 10
+        assert machine.fast_misses > 0
+        assert machine.fast_misses >= machine.deferred_misses
+
+        reference_rate = len(records) / reference_s
+        packed_rate = len(records) / packed_s
+        ratio = packed_rate / reference_rate
+        ratios[family] = ratio
+        print(
+            f"\nmiss path [{family}]: reference {reference_rate:,.0f}/s, "
+            f"packed {packed_rate:,.0f}/s — {ratio:.2f}x "
+            f"(fast={machine.fast_misses}, deferred={machine.deferred_misses})"
+        )
+        for engine, rate, elapsed in (
+            ("reference", reference_rate, reference_s),
+            ("packed", packed_rate, packed_s),
+        ):
+            append_bench_entry(
+                BENCH_LOG,
+                {
+                    "bench": "miss_path",
+                    "family": family,
+                    "engine": engine,
+                    "accesses": len(records),
+                    "elapsed_s": round(elapsed, 4),
+                    "accesses_per_s": round(rate, 1),
+                    "packed_over_reference": round(ratio, 3),
+                },
+                repo_root=REPO_ROOT,
+            )
+
+    failing = {f: r for f, r in ratios.items() if r < min_ratio}
+    assert not failing, (
+        f"packed engine below the {min_ratio:.2f}x miss-path gate on: "
+        + ", ".join(f"{f} ({r:.2f}x)" for f, r in failing.items())
     )

@@ -78,6 +78,18 @@ CODE_TO_STATE = (
 #: Per-code predicate tables mirroring the ``LineState`` properties.
 CODE_CAN_WRITE = (False, False, False, True, True)  # M, E
 CODE_IS_DIRTY = (False, False, True, False, True)  # M, O
+CODE_IS_OWNER = (False, False, True, True, True)  # M, O, E
+
+#: Code-level ``LineState.after_remote_read`` transition table
+#: (M -> O, E -> S, O/S stay; INVALID has no legal remote read and maps
+#: to 0 only so the table is total).
+CODE_AFTER_REMOTE_READ = (
+    STATE_INVALID,
+    STATE_SHARED,
+    STATE_OWNED,
+    STATE_SHARED,
+    STATE_OWNED,
+)
 
 #: Replacement policy kinds (`PackedCache.kind`).
 POLICY_LRU = 0

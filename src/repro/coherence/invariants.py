@@ -19,8 +19,14 @@ violate no matter what the workload does:
   the home node's *own* cache may hold lines of local memory untracked
   (that is the paper's optimization).
 * **structural sanity** — no duplicate probe-filter entries, entries
-  sit in the set their address hashes to, occupancy never exceeds
-  capacity.
+  sit in the set their address hashes to, holder fields name real nodes
+  (a flipped sharer bit or corrupted owner id is caught), occupancy
+  never exceeds capacity.  Both filter representations are understood:
+  the reference per-set dicts and the packed flat arrays of
+  :class:`~repro.core.packed_directory.PackedProbeFilter`.
+* **MSHR quiescence** — no miss-status register is outstanding while
+  the machine is idle (misses are serviced atomically, so a dangling
+  entry means a miss path leaked its slot).
 
 Violations raise :class:`~repro.errors.ProtocolError` naming the line
 and nodes involved.  The checks walk every cache and probe filter, so
@@ -121,36 +127,22 @@ def check_directory_tracking(machine) -> None:
 def check_probe_filter_structure(machine) -> None:
     """Assert each probe filter's structural integrity.
 
-    Walks the sets directly (rather than the flattened ``entries()``
-    view) so that an entry filed in a set its address does not hash to —
-    which ``lookup``/``peek`` would silently miss — is caught too.
+    Walks the backing storage directly (rather than the flattened
+    ``entries()`` view) so that an entry filed in a set its address does
+    not hash to — which ``lookup``/``peek`` would silently miss — is
+    caught too.  Both representations are understood: the reference
+    filter's per-set entry dicts and the packed filter's flat
+    tag/owner/sharer-word arrays.  Holder fields are additionally
+    range-checked against the machine's node count, catching a flipped
+    sharer bit or a corrupted owner id that points outside the mesh.
     """
+    node_count = len(machine.nodes)
     for node in machine.nodes:
         probe_filter = node.probe_filter
-        seen: Dict[int, int] = {}
-        count = 0
-        for set_number, fset in enumerate(probe_filter._sets):
-            for way, entry in fset.entries.items():
-                count += 1
-                if entry.line_address in seen:
-                    raise ProtocolError(
-                        f"probe filter {node.node_id}: duplicate entries for "
-                        f"line {entry.line_address:#x}"
-                    )
-                seen[entry.line_address] = entry.way
-                if probe_filter.set_index(entry.line_address) != set_number:
-                    raise ProtocolError(
-                        f"probe filter {node.node_id}: entry for "
-                        f"{entry.line_address:#x} filed in set {set_number} "
-                        f"but hashes to set "
-                        f"{probe_filter.set_index(entry.line_address)}"
-                    )
-                if way != entry.way or not 0 <= way < probe_filter.associativity:
-                    raise ProtocolError(
-                        f"probe filter {node.node_id}: entry for "
-                        f"{entry.line_address:#x} in impossible way "
-                        f"{entry.way} (stored under {way})"
-                    )
+        if hasattr(probe_filter, "_sets"):
+            count = _walk_reference_filter_sets(node, probe_filter, node_count)
+        else:
+            count = _walk_packed_filter_arrays(node, probe_filter, node_count)
         if count != probe_filter.occupancy():
             raise ProtocolError(
                 f"probe filter {node.node_id}: occupancy() reports "
@@ -163,12 +155,130 @@ def check_probe_filter_structure(machine) -> None:
             )
 
 
+def _check_holder_range(node, line_address: int, owner, sharers, node_count: int) -> None:
+    """Owner/sharer ids must name real nodes (catches flipped mask bits)."""
+    if owner is not None and not 0 <= owner < node_count:
+        raise ProtocolError(
+            f"probe filter {node.node_id}: entry for {line_address:#x} "
+            f"records owner {owner} outside the {node_count}-node machine"
+        )
+    bogus = [s for s in sharers if not 0 <= s < node_count]
+    if bogus:
+        raise ProtocolError(
+            f"probe filter {node.node_id}: entry for {line_address:#x} "
+            f"records sharers {sorted(bogus)} outside the "
+            f"{node_count}-node machine"
+        )
+
+
+def _walk_reference_filter_sets(node, probe_filter, node_count: int) -> int:
+    seen: Dict[int, int] = {}
+    count = 0
+    for set_number, fset in enumerate(probe_filter._sets):
+        for way, entry in fset.entries.items():
+            count += 1
+            if entry.line_address in seen:
+                raise ProtocolError(
+                    f"probe filter {node.node_id}: duplicate entries for "
+                    f"line {entry.line_address:#x}"
+                )
+            seen[entry.line_address] = entry.way
+            if probe_filter.set_index(entry.line_address) != set_number:
+                raise ProtocolError(
+                    f"probe filter {node.node_id}: entry for "
+                    f"{entry.line_address:#x} filed in set {set_number} "
+                    f"but hashes to set "
+                    f"{probe_filter.set_index(entry.line_address)}"
+                )
+            if way != entry.way or not 0 <= way < probe_filter.associativity:
+                raise ProtocolError(
+                    f"probe filter {node.node_id}: entry for "
+                    f"{entry.line_address:#x} in impossible way "
+                    f"{entry.way} (stored under {way})"
+                )
+            _check_holder_range(
+                node, entry.line_address, entry.owner, entry.sharers, node_count
+            )
+    return count
+
+
+def _walk_packed_filter_arrays(node, probe_filter, node_count: int) -> int:
+    seen: Dict[int, int] = {}
+    count = 0
+    associativity = probe_filter.associativity
+    tags = probe_filter.tags
+    owners = probe_filter.owners
+    sharer_bits = probe_filter.sharer_bits
+    for slot in range(probe_filter.entry_count):
+        tag = tags[slot]
+        if tag < 0:
+            if owners[slot] >= 0 or sharer_bits[slot]:
+                raise ProtocolError(
+                    f"probe filter {node.node_id}: free way "
+                    f"{slot % associativity} of set {slot // associativity} "
+                    f"still records holders"
+                )
+            continue
+        count += 1
+        if tag in seen:
+            raise ProtocolError(
+                f"probe filter {node.node_id}: duplicate entries for "
+                f"line {tag:#x}"
+            )
+        seen[tag] = slot
+        set_number = slot // associativity
+        if probe_filter.set_index(tag) != set_number:
+            raise ProtocolError(
+                f"probe filter {node.node_id}: entry for {tag:#x} filed in "
+                f"set {set_number} but hashes to set "
+                f"{probe_filter.set_index(tag)}"
+            )
+        mask = sharer_bits[slot]
+        if mask < 0:
+            raise ProtocolError(
+                f"probe filter {node.node_id}: entry for {tag:#x} has a "
+                f"negative sharer word"
+            )
+        sharers = set()
+        while mask:
+            low = mask & -mask
+            sharers.add(low.bit_length() - 1)
+            mask ^= low
+        owner = owners[slot]
+        _check_holder_range(
+            node, tag, owner if owner >= 0 else None, sharers, node_count
+        )
+    return count
+
+
+def check_mshr_quiescence(machine) -> None:
+    """Assert no MSHR entry is outstanding while the machine is idle.
+
+    The simulator services each miss atomically, so between accesses the
+    MSHR files must be empty; a dangling entry means a miss path exited
+    without releasing its slot (and would wedge a real machine once the
+    file filled up).
+    """
+    for node in machine.nodes:
+        mshrs = node.caches.mshrs
+        if mshrs.occupancy:
+            lines = sorted(
+                f"{entry.line_address:#x}" for entry in mshrs._entries.values()
+            )
+            raise ProtocolError(
+                f"node {node.node_id}: {mshrs.occupancy} dangling MSHR "
+                f"entr{'y' if mshrs.occupancy == 1 else 'ies'} for "
+                f"line(s) {', '.join(lines)} while the machine is idle"
+            )
+
+
 #: The individual checks run by :func:`check_machine_invariants`.
 ALL_CHECKS = (
     check_single_writer,
     check_inclusion,
     check_directory_tracking,
     check_probe_filter_structure,
+    check_mshr_quiescence,
 )
 
 

@@ -1,0 +1,861 @@
+"""Packed sparse directory: flat-array probe filter + fast miss servicing.
+
+PR 3's packed engine inlined the L1/L2 *hit* path but fell back to the
+reference object graph for every coherence transaction, so miss-heavy
+workloads (false sharing, migratory locks, hotspots) ran at reference
+speed.  This module packs the miss path too:
+
+* :class:`PackedProbeFilter` stores one home node's sparse directory in
+  flat arrays indexed by ``slot = set_index * associativity + way``:
+
+  ===============  ==============  ============================================
+  Array            Type            Contents
+  ===============  ==============  ============================================
+  ``tags``         ``array('q')``  tracked line address per way (``-1`` free)
+  ``owners``       ``array('q')``  owner node id per way (``-1`` = no owner)
+  ``sharer_bits``  ``list[int]``   sharer bitmask per way (bit *n* = node *n*)
+  ``stamps``       ``array('q')``  monotonic LRU stamps (``0`` = never/reset)
+  ===============  ==============  ============================================
+
+  plus per-set tree-PLRU bit words / lazily seeded RNGs for the non-LRU
+  replacement policies, exactly mirroring the reference
+  :class:`~repro.core.probe_filter.ProbeFilter` (same stats, same victim
+  ways, same free-way preference, same RNG seeding ``seed + node_id``
+  then per-set ``+ set_index + 1``).  The reference-compatible API
+  (``lookup``/``peek``/``allocate``/``deallocate``/``update``/``entries``)
+  returns :class:`~repro.core.probe_filter.ProbeFilterEntry` *views*;
+  ``update`` writes a mutated view back into the arrays, which is how the
+  unchanged reference :class:`~repro.core.directory.DirectoryController`
+  drives a packed filter on the structural slow path.
+
+* :class:`PackedDirectoryFastPath` services the common miss flavours —
+  probe-filter hits (reads and writes, including invalidation fan-out),
+  ALLARM no-allocate local misses, and allocating misses that find a
+  free probe-filter way — entirely in the packed representation, with
+  per-route latency/traffic constants replacing per-message
+  ``Message``/``Transaction`` object churn.  Only *structural* events
+  defer to the reference machinery: probe-filter evictions (with their
+  invalidation fan-out), L2 eviction notifications, NUMA remaps and
+  page-table faults.
+
+**Bit-identity is the contract**: every counter the snapshot layer reads
+(:class:`~repro.core.directory.DirectoryStats`, probe-filter stats,
+``NetworkStats`` including per-type message/byte counts, DRAM and
+memory-controller counters) and every latency float must be exactly what
+the reference ``DirectoryController.service_request`` would have
+produced, down to float-addition order.  Per-router and per-link
+counters are *not* part of the snapshot contract and are maintained only
+by the reference message loop; ``docs/performance.md`` documents this.
+
+Requester-side MSHR slots are the shared :class:`~repro.cache.mshr.MshrFile`
+(one allocate/release per miss, merge on a pre-registered in-flight
+line); both engines drive it identically from their ``_service_miss``.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.cache.packed import (
+    CODE_AFTER_REMOTE_READ,
+    STATE_EXCLUSIVE,
+    STATE_INVALID,
+    STATE_MODIFIED,
+    STATE_OWNED,
+    STATE_SHARED,
+    plru_touch,
+    plru_victim,
+)
+from repro.coherence.messages import MessageType
+from repro.core.probe_filter import (
+    AllocationOutcome,
+    ProbeFilterEntry,
+    ProbeFilterStats,
+)
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory.address import is_power_of_two
+
+#: Replacement policy kinds (mirrors ``repro.cache.packed``).
+_PF_LRU = 0
+_PF_PLRU = 1
+_PF_RANDOM = 2
+_PF_KINDS = {"lru": _PF_LRU, "plru": _PF_PLRU, "random": _PF_RANDOM}
+
+#: Message-type value strings, hoisted so the fast path never touches the
+#: enum (the names key ``NetworkStats.messages_by_type``).
+_GETS = MessageType.GET_SHARED.value
+_GETX = MessageType.GET_EXCLUSIVE.value
+_FWD_GETS = MessageType.FORWARD_GET_SHARED.value
+_FWD_GETX = MessageType.FORWARD_GET_EXCLUSIVE.value
+_INV = MessageType.INVALIDATE.value
+_ACK = MessageType.ACK.value
+_DATA_MEM = MessageType.DATA_FROM_MEMORY.value
+_DATA_OWNER = MessageType.DATA_FROM_OWNER.value
+_WB_DATA = MessageType.WRITEBACK_DATA.value
+_LOCAL_PROBE = MessageType.LOCAL_STATE_PROBE.value
+_LOCAL_RESP = MessageType.LOCAL_STATE_RESPONSE.value
+
+
+class PackedProbeFilter:
+    """Flat-array sparse directory, bit-identical to :class:`ProbeFilter`.
+
+    Construction parameters and validation match the reference exactly.
+    Entries returned by ``lookup``/``peek``/``allocate``/``entries`` are
+    freshly built :class:`ProbeFilterEntry` views; mutate a view and pass
+    it to :meth:`update` to persist the change (the reference directory
+    controller already follows that discipline).
+    """
+
+    __slots__ = (
+        "node_id",
+        "coverage_bytes",
+        "associativity",
+        "line_size",
+        "set_count",
+        "entry_count",
+        "line_shift",
+        "set_mask",
+        "kind",
+        "tags",
+        "owners",
+        "sharer_bits",
+        "stamps",
+        "stamp",
+        "plru_bits",
+        "_rng_seed",
+        "_rngs",
+        "lookups",
+        "hits",
+        "misses",
+        "allocations",
+        "evictions",
+        "deallocations",
+        "eviction_invalidations",
+        "reads",
+        "writes",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        coverage_bytes: int = 512 * 1024,
+        associativity: int = 4,
+        line_size: int = 64,
+        replacement: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if coverage_bytes <= 0:
+            raise ConfigurationError("probe filter coverage must be positive")
+        if not is_power_of_two(line_size):
+            raise ConfigurationError("probe filter line size must be a power of two")
+        if coverage_bytes % (associativity * line_size) != 0:
+            raise ConfigurationError(
+                "probe filter coverage must be a multiple of associativity * line_size"
+            )
+        entry_count = coverage_bytes // line_size
+        set_count = entry_count // associativity
+        if not is_power_of_two(set_count):
+            raise ConfigurationError(
+                f"probe filter set count {set_count} must be a power of two"
+            )
+        try:
+            kind = _PF_KINDS[replacement]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown replacement policy {replacement!r}; expected one of "
+                f"('lru', 'plru', 'random')"
+            ) from None
+        if kind == _PF_PLRU and associativity & (associativity - 1) != 0:
+            raise ConfigurationError("tree PLRU needs power-of-two associativity")
+
+        self.node_id = node_id
+        self.coverage_bytes = coverage_bytes
+        self.associativity = associativity
+        self.line_size = line_size
+        self.set_count = set_count
+        self.entry_count = entry_count
+        self.line_shift = line_size.bit_length() - 1
+        self.set_mask = set_count - 1
+        self.kind = kind
+
+        self.tags = array("q", [-1]) * entry_count
+        self.owners = array("q", [-1]) * entry_count
+        self.sharer_bits: List[int] = [0] * entry_count
+        self.stamps = array("q", [0]) * entry_count
+        self.stamp = 0
+        self.plru_bits: List[int] = [0] * set_count if kind == _PF_PLRU else []
+        # Reference parity: ReplacementPolicyFactory(replacement,
+        # seed=seed + node_id) pre-increments its counter, so set i's RNG
+        # is seeded ``seed + node_id + i + 1``.  Created lazily — RNG
+        # state depends only on the number of victim choices made.
+        self._rng_seed = seed + node_id
+        self._rngs: Dict[int, random.Random] = {}
+
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.allocations = 0
+        self.evictions = 0
+        self.deallocations = 0
+        self.eviction_invalidations = 0
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Stats / geometry
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> ProbeFilterStats:
+        """Read-only snapshot of the counters as ``ProbeFilterStats``."""
+        return ProbeFilterStats(
+            lookups=self.lookups,
+            hits=self.hits,
+            misses=self.misses,
+            allocations=self.allocations,
+            evictions=self.evictions,
+            deallocations=self.deallocations,
+            eviction_invalidations=self.eviction_invalidations,
+            reads=self.reads,
+            writes=self.writes,
+        )
+
+    def set_index(self, line_address: int) -> int:
+        """Return the set index for a line-aligned address."""
+        return (line_address >> self.line_shift) & self.set_mask
+
+    # ------------------------------------------------------------------
+    # Packed primitives (used by the fast path)
+    # ------------------------------------------------------------------
+    def find_slot(self, line_address: int) -> int:
+        """Return the flat slot tracking *line_address*, or ``-1``."""
+        base = (
+            (line_address >> self.line_shift) & self.set_mask
+        ) * self.associativity
+        try:
+            return self.tags.index(line_address, base, base + self.associativity)
+        except ValueError:
+            return -1
+
+    def has_free_way(self, line_address: int) -> bool:
+        """True when the line's set has an unallocated way."""
+        base = (
+            (line_address >> self.line_shift) & self.set_mask
+        ) * self.associativity
+        try:
+            self.tags.index(-1, base, base + self.associativity)
+            return True
+        except ValueError:
+            return False
+
+    def touch(self, slot: int) -> None:
+        """Record recency for *slot* (allocate or lookup hit)."""
+        kind = self.kind
+        if kind == _PF_LRU:
+            stamp = self.stamp + 1
+            self.stamp = stamp
+            self.stamps[slot] = stamp
+        elif kind == _PF_PLRU:
+            assoc = self.associativity
+            set_index, way = divmod(slot, assoc)
+            self.plru_bits[set_index] = plru_touch(
+                self.plru_bits[set_index], way, assoc
+            )
+
+    def _reset(self, slot: int) -> None:
+        if self.kind == _PF_LRU:
+            self.stamps[slot] = 0
+
+    def victim_way(self, set_index: int) -> int:
+        """Choose the victim way of a full set (reference tie-breaks)."""
+        kind = self.kind
+        assoc = self.associativity
+        if kind == _PF_LRU:
+            stamps = self.stamps
+            base = set_index * assoc
+            best_way = 0
+            best = stamps[base]
+            for way in range(assoc):
+                stamp = stamps[base + way]
+                if stamp == 0:
+                    return way
+                if stamp < best:
+                    best = stamp
+                    best_way = way
+            return best_way
+        if kind == _PF_PLRU:
+            return plru_victim(self.plru_bits[set_index], assoc)
+        rng = self._rngs.get(set_index)
+        if rng is None:
+            rng = self._rngs[set_index] = random.Random(
+                self._rng_seed + set_index + 1
+            )
+        return rng.choice(range(assoc))
+
+    def allocate_fast(self, line_address: int, owner: int, sharer_mask: int) -> None:
+        """Install an entry into a set known to have a free way.
+
+        Fast-path form of :meth:`allocate`: the caller has already probed
+        for residency (absent) and a free way (present), so no victim can
+        arise and no views are built.  *owner* is ``-1`` for no owner.
+        """
+        base = (
+            (line_address >> self.line_shift) & self.set_mask
+        ) * self.associativity
+        slot = self.tags.index(-1, base, base + self.associativity)
+        self.tags[slot] = line_address
+        self.owners[slot] = owner
+        self.sharer_bits[slot] = sharer_mask
+        self.touch(slot)
+        self.allocations += 1
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    # Reference-compatible API (drives the structural slow path)
+    # ------------------------------------------------------------------
+    def _view(self, slot: int) -> ProbeFilterEntry:
+        owner = self.owners[slot]
+        mask = self.sharer_bits[slot]
+        sharers: Set[int] = set()
+        while mask:
+            low = mask & -mask
+            sharers.add(low.bit_length() - 1)
+            mask ^= low
+        return ProbeFilterEntry(
+            line_address=self.tags[slot],
+            owner=owner if owner >= 0 else None,
+            sharers=sharers,
+            way=slot % self.associativity,
+        )
+
+    def lookup(self, line_address: int) -> Optional[ProbeFilterEntry]:
+        """Look up a line; counts a read access and hit/miss."""
+        self.lookups += 1
+        self.reads += 1
+        slot = self.find_slot(line_address)
+        if slot >= 0:
+            self.hits += 1
+            self.touch(slot)
+            return self._view(slot)
+        self.misses += 1
+        return None
+
+    def peek(self, line_address: int) -> Optional[ProbeFilterEntry]:
+        """Look up without disturbing statistics or recency (tests/debug)."""
+        slot = self.find_slot(line_address)
+        return self._view(slot) if slot >= 0 else None
+
+    def allocate(
+        self,
+        line_address: int,
+        owner: Optional[int],
+        sharers: Optional[Set[int]] = None,
+    ) -> AllocationOutcome:
+        """Allocate an entry, evicting a victim if the set is full."""
+        if self.find_slot(line_address) >= 0:
+            raise ProtocolError(
+                f"probe filter {self.node_id}: duplicate allocation for "
+                f"{line_address:#x}"
+            )
+        assoc = self.associativity
+        base = ((line_address >> self.line_shift) & self.set_mask) * assoc
+        tags = self.tags
+        victim: Optional[ProbeFilterEntry] = None
+        try:
+            slot = tags.index(-1, base, base + assoc)
+        except ValueError:
+            way = self.victim_way(base // assoc)
+            slot = base + way
+            victim = self._view(slot)
+            self._reset(slot)
+            self.evictions += 1
+            self.eviction_invalidations += victim.holder_count
+            # An eviction reads out the victim's tag+state and then writes
+            # the replacement: count both array accesses for energy.
+            self.reads += 1
+        tags[slot] = line_address
+        self.owners[slot] = -1 if owner is None else owner
+        mask = 0
+        for sharer in sharers or ():
+            mask |= 1 << sharer
+        self.sharer_bits[slot] = mask
+        self.touch(slot)
+        self.allocations += 1
+        self.writes += 1
+        return AllocationOutcome(entry=self._view(slot), victim=victim)
+
+    def deallocate(self, line_address: int) -> ProbeFilterEntry:
+        """Remove the entry for a line (e.g. after the last holder evicts)."""
+        slot = self.find_slot(line_address)
+        if slot < 0:
+            raise ProtocolError(
+                f"probe filter {self.node_id}: deallocation of untracked line "
+                f"{line_address:#x}"
+            )
+        entry = self._view(slot)
+        self.tags[slot] = -1
+        self.owners[slot] = -1
+        self.sharer_bits[slot] = 0
+        self._reset(slot)
+        self.deallocations += 1
+        self.writes += 1
+        return entry
+
+    def update(self, entry: ProbeFilterEntry) -> None:
+        """Write a mutated entry view back into the arrays.
+
+        The reference filter hands out live entries so its ``update`` is
+        stats-only; the packed filter hands out views, so this is where
+        owner/sharer changes made by the directory controller land.
+        """
+        slot = self.set_index(entry.line_address) * self.associativity + entry.way
+        if (
+            slot >= self.entry_count
+            or entry.way >= self.associativity
+            or self.tags[slot] != entry.line_address
+        ):
+            raise ProtocolError(
+                f"probe filter {self.node_id}: update of stale entry view for "
+                f"{entry.line_address:#x}"
+            )
+        self.owners[slot] = -1 if entry.owner is None else entry.owner
+        mask = 0
+        for sharer in entry.sharers:
+            mask |= 1 << sharer
+        self.sharer_bits[slot] = mask
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of entries currently allocated."""
+        return self.entry_count - self.tags.count(-1)
+
+    def entries(self) -> Iterator[ProbeFilterEntry]:
+        """Iterate views of all allocated entries (set-major, way order)."""
+        tags = self.tags
+        for slot in range(self.entry_count):
+            if tags[slot] >= 0:
+                yield self._view(slot)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedProbeFilter(node={self.node_id}, "
+            f"coverage={self.coverage_bytes}B, {self.associativity}-way)"
+        )
+
+
+class PackedDirectoryFastPath:
+    """Fast miss servicing for one home node over packed directory state.
+
+    One instance per node; all instances share one lazily filled
+    ``routes`` table mapping ``(src, dst)`` to the delivery constants the
+    reference network would have produced for a control and a data
+    message on that route (latency computed with the *same* per-hop
+    float-addition order as ``Network.deliver``, so reusing the cached
+    float is bit-identical to recomputing it).
+
+    :meth:`service` returns ``(transaction_latency_ns, fill_state_code)``
+    for a request it can service; the caller (the packed machine) checks
+    the single structural precondition — a probe-filter allocation into a
+    full set — *before* calling, so every call completes without
+    deferring and without having touched state on an abandoned path.
+    """
+
+    __slots__ = (
+        "node_id",
+        "pf",
+        "policy",
+        "dstats",
+        "hierarchies",
+        "routes",
+        "net_stats",
+        "msgs_by_type",
+        "bytes_by_type",
+        "routing",
+        "routers",
+        "links",
+        "ctl_bytes",
+        "data_bytes",
+        "ctl_flits",
+        "data_flits",
+        "dir_ns",
+        "cache_ns",
+        "probe_ns",
+        "mc_stats",
+        "sched_ns",
+        "dram",
+        "dram_stats",
+    )
+
+    def __init__(self, machine, node, routes: Dict[Tuple[int, int], tuple]) -> None:
+        directory = node.directory
+        self.node_id = node.node_id
+        self.pf: PackedProbeFilter = node.probe_filter
+        self.policy = directory.policy
+        self.dstats = directory.stats
+        self.hierarchies = [n.caches for n in machine.nodes]
+        self.routes = routes
+        network = machine.network
+        self.net_stats = network.stats
+        self.msgs_by_type = network.stats.messages_by_type
+        self.bytes_by_type = network.stats.bytes_by_type
+        self.routing = network.routing
+        self.routers = network.routers
+        self.links = network.links
+        sizing = machine.message_factory.sizing
+        self.ctl_bytes = sizing.control_bytes
+        self.data_bytes = sizing.data_bytes
+        self.ctl_flits = sizing.flits_of(MessageType.ACK)
+        self.data_flits = sizing.flits_of(MessageType.DATA_FROM_MEMORY)
+        timings = directory.timings
+        self.dir_ns = timings.directory_access_ns
+        self.cache_ns = timings.cache_access_ns
+        self.probe_ns = timings.local_probe_ns
+        self.mc_stats = node.memory_controller.stats
+        self.sched_ns = node.memory_controller.scheduling_overhead_ns
+        self.dram = node.dram
+        self.dram_stats = node.dram.stats
+
+    # ------------------------------------------------------------------
+    # Packed equivalents of the reference component calls
+    # ------------------------------------------------------------------
+    def _route(self, src: int, dst: int) -> tuple:
+        """Delivery constants for a route; computed once, reused forever.
+
+        ``(ctl_latency, data_latency, ctl_flit_hops, data_flit_hops,
+        ctl_byte_hops, data_byte_hops)`` — the latencies sum per-hop
+        router pipeline and link traversal in exactly the order
+        ``Network.deliver`` does.
+        """
+        key = (src, dst)
+        info = self.routes.get(key)
+        if info is None:
+            path = self.routing.route(src, dst)
+            hops = len(path) - 1
+            ctl = 0.0
+            data = 0.0
+            for i in range(hops):
+                router = self.routers[path[i]]
+                link = self.links[(path[i], path[i + 1])]
+                ctl += router.pipeline_latency_ns
+                ctl += link.latency_ns + link.serialization_ns(self.ctl_bytes)
+                data += router.pipeline_latency_ns
+                data += link.latency_ns + link.serialization_ns(self.data_bytes)
+            info = (
+                ctl,
+                data,
+                self.ctl_flits * hops,
+                self.data_flits * hops,
+                self.ctl_bytes * hops,
+                self.data_bytes * hops,
+            )
+            self.routes[key] = info
+        return info
+
+    def _send_ctl(self, name: str, src: int, dst: int) -> float:
+        """Account one control message; return its delivery latency."""
+        msgs = self.msgs_by_type
+        msgs[name] = msgs.get(name, 0) + 1
+        stats = self.net_stats
+        if src == dst:
+            stats.local_messages += 1
+            return 0.0
+        info = self._route(src, dst)
+        stats.messages_sent += 1
+        stats.bytes_injected += self.ctl_bytes
+        stats.flit_hops += info[2]
+        stats.byte_hops += info[4]
+        bbt = self.bytes_by_type
+        bbt[name] = bbt.get(name, 0) + self.ctl_bytes
+        return info[0]
+
+    def _send_data(self, name: str, src: int, dst: int) -> float:
+        """Account one data message; return its delivery latency."""
+        msgs = self.msgs_by_type
+        msgs[name] = msgs.get(name, 0) + 1
+        stats = self.net_stats
+        if src == dst:
+            stats.local_messages += 1
+            return 0.0
+        info = self._route(src, dst)
+        stats.messages_sent += 1
+        stats.bytes_injected += self.data_bytes
+        stats.flit_hops += info[3]
+        stats.byte_hops += info[5]
+        bbt = self.bytes_by_type
+        bbt[name] = bbt.get(name, 0) + self.data_bytes
+        return info[1]
+
+    def mem_read(self, line_address: int) -> float:
+        """Inline ``MemoryController.read_line`` (same stats, same floats)."""
+        self.mc_stats.line_reads += 1
+        dram = self.dram
+        stats = self.dram_stats
+        row = line_address // dram.row_bytes
+        if row == dram._open_row:
+            stats.row_hits += 1
+            latency = dram.row_hit_latency_ns
+        else:
+            stats.row_misses += 1
+            dram._open_row = row
+            latency = dram.access_latency_ns
+        stats.reads += 1
+        stats.bytes_read += dram.line_size
+        return self.sched_ns + latency
+
+    def mem_writeback(self, line_address: int) -> float:
+        """Inline ``MemoryController.writeback_line``."""
+        self.mc_stats.line_writebacks += 1
+        dram = self.dram
+        stats = self.dram_stats
+        row = line_address // dram.row_bytes
+        if row == dram._open_row:
+            stats.row_hits += 1
+            latency = dram.row_hit_latency_ns
+        else:
+            stats.row_misses += 1
+            dram._open_row = row
+            latency = dram.access_latency_ns
+        stats.writes += 1
+        stats.bytes_written += dram.line_size
+        return self.sched_ns + latency
+
+    # ------------------------------------------------------------------
+    # Request servicing (mirrors DirectoryController.service_request)
+    # ------------------------------------------------------------------
+    def service(
+        self, requester: int, line_address: int, is_write: bool, slot: int
+    ) -> Tuple[float, int]:
+        """Service one L2 miss/upgrade; return ``(latency_ns, fill_code)``.
+
+        *slot* is the probe-filter slot the caller already probed
+        (``-1`` = miss); the caller guarantees a miss that allocates has
+        a free way, so this method never defers.
+        """
+        home = self.node_id
+        dstats = self.dstats
+        if requester == home:
+            dstats.local_requests += 1
+        else:
+            dstats.remote_requests += 1
+        if is_write:
+            dstats.write_requests += 1
+            latency = self._send_ctl(_GETX, requester, home)
+        else:
+            dstats.read_requests += 1
+            latency = self._send_ctl(_GETS, requester, home)
+        latency += self.dir_ns
+
+        pf = self.pf
+        pf.lookups += 1
+        pf.reads += 1
+        if slot >= 0:
+            pf.hits += 1
+            pf.touch(slot)
+            if is_write:
+                sub, fill = self._hit_write(slot, requester, line_address)
+            else:
+                sub, fill = self._hit_read(slot, requester, line_address)
+        else:
+            pf.misses += 1
+            sub, fill = self._miss(requester, line_address, is_write)
+        return latency + sub, fill
+
+    def _hit_read(
+        self, slot: int, requester: int, line_address: int
+    ) -> Tuple[float, int]:
+        pf = self.pf
+        hierarchies = self.hierarchies
+        home = self.node_id
+        owner = pf.owners[slot]
+        supplier = -1
+        if (
+            owner >= 0
+            and owner != requester
+            and hierarchies[owner].l2.find(line_address) >= 0
+        ):
+            supplier = owner
+        else:
+            # Hammer supplies clean data cache-to-cache as well: scan the
+            # sharers in ascending node order (== sorted(entry.sharers)).
+            mask = pf.sharer_bits[slot]
+            while mask:
+                low = mask & -mask
+                sharer = low.bit_length() - 1
+                if (
+                    sharer != requester
+                    and hierarchies[sharer].l2.find(line_address) >= 0
+                ):
+                    supplier = sharer
+                    break
+                mask ^= low
+        sub = 0.0
+        if supplier >= 0:
+            sub += self._send_ctl(_FWD_GETS, home, supplier)
+            sub += self.cache_ns
+            hierarchies[supplier].handle_downgrade(line_address)
+            sub += self._send_data(_DATA_OWNER, supplier, requester)
+            pf.sharer_bits[slot] |= 1 << requester
+            had_other_sharers = True
+        else:
+            sub += self.mem_read(line_address)
+            sub += self._send_data(_DATA_MEM, home, requester)
+            pf.sharer_bits[slot] |= 1 << requester
+            if owner >= 0 and hierarchies[owner].l2.find(line_address) < 0:
+                # Stale owner (silently dropped clean line); clear it.
+                pf.owners[slot] = -1
+            had_other_sharers = False
+        pf.writes += 1  # probe_filter.update(entry)
+        if not had_other_sharers:
+            # _requester_fill_state peeks the updated entry: SHARED when
+            # the line now has more than one recorded holder.
+            owner_now = pf.owners[slot]
+            holders = pf.sharer_bits[slot]
+            if owner_now >= 0:
+                holders |= 1 << owner_now
+            had_other_sharers = holders & (holders - 1) != 0
+        return sub, STATE_SHARED if had_other_sharers else STATE_EXCLUSIVE
+
+    def _hit_write(
+        self, slot: int, requester: int, line_address: int
+    ) -> Tuple[float, int]:
+        pf = self.pf
+        hierarchies = self.hierarchies
+        home = self.node_id
+        dstats = self.dstats
+        owner = pf.owners[slot]
+        requester_bit = 1 << requester
+        original_holders = pf.sharer_bits[slot]
+        if owner >= 0:
+            original_holders |= 1 << owner
+        holders = original_holders & ~requester_bit
+
+        invalidation_latency = 0.0
+        data_latency = 0.0
+        data_sent = False
+        if (
+            owner >= 0
+            and owner != requester
+            and hierarchies[owner].l2.find(line_address) >= 0
+        ):
+            # The owner both supplies data and invalidates its copy.
+            fwd = self._send_ctl(_FWD_GETX, home, owner)
+            fwd += self.cache_ns
+            hierarchies[owner].handle_invalidate(line_address)
+            fwd += self._send_data(_DATA_OWNER, owner, requester)
+            data_latency = fwd
+            data_sent = True
+            holders &= ~(1 << owner)
+
+        mask = holders
+        while mask:
+            low = mask & -mask
+            holder = low.bit_length() - 1
+            mask ^= low
+            path = self._send_ctl(_INV, home, holder)
+            path += self.cache_ns
+            prior = hierarchies[holder].handle_invalidate(line_address)
+            if prior is not None and prior.is_dirty:
+                self._send_data(_WB_DATA, holder, home)
+                self.mem_writeback(line_address)
+            path += self._send_ctl(_ACK, holder, requester)
+            if path > invalidation_latency:
+                invalidation_latency = path
+            dstats.invalidations_sent += 1
+
+        if not data_sent and not original_holders & requester_bit:
+            # Not an upgrade: memory supplies the data.
+            data_latency = self.mem_read(line_address)
+            data_latency += self._send_data(_DATA_MEM, home, requester)
+
+        pf.owners[slot] = requester
+        pf.sharer_bits[slot] = 0
+        pf.writes += 1  # probe_filter.update(entry)
+        # Invalidations and the data fetch proceed in parallel; the
+        # request completes when the slower of the two finishes.
+        if invalidation_latency > data_latency:
+            return invalidation_latency, STATE_MODIFIED
+        return data_latency, STATE_MODIFIED
+
+    def _miss(
+        self, requester: int, line_address: int, is_write: bool
+    ) -> Tuple[float, int]:
+        home = self.node_id
+        policy = self.policy
+        allocate = policy.should_allocate(requester, home, line_address)
+        probe_local = policy.needs_local_probe(requester, home, line_address)
+        dstats = self.dstats
+
+        if not allocate:
+            # ALLARM local-core miss: service straight from memory with no
+            # directory state and no coherence traffic.
+            if requester != home:
+                raise ProtocolError(
+                    "allocation policy skipped allocation for a remote requester"
+                )
+            sub = self.mem_read(line_address)
+            sub += self._send_data(_DATA_MEM, home, requester)
+            return sub, STATE_MODIFIED if is_write else STATE_EXCLUSIVE
+
+        hierarchies = self.hierarchies
+        local_code = STATE_INVALID
+        probe_latency = 0.0
+        if probe_local and requester != home:
+            dstats.local_probes_sent += 1
+            msgs = self.msgs_by_type
+            stats = self.net_stats
+            msgs[_LOCAL_PROBE] = msgs.get(_LOCAL_PROBE, 0) + 1
+            stats.local_messages += 1
+            msgs[_LOCAL_RESP] = msgs.get(_LOCAL_RESP, 0) + 1
+            stats.local_messages += 1
+            probe_latency = self.probe_ns
+            home_l2 = hierarchies[home].l2
+            local_slot = home_l2.find(line_address)
+            if local_slot >= 0:
+                local_code = home_l2.states[local_slot]
+                dstats.local_probes_found_line += 1
+
+        # Work out who will hold the line once the request completes, then
+        # allocate the entry (the caller guaranteed a free way).
+        if local_code == STATE_INVALID or requester == home:
+            owner, sharer_mask = requester, 0
+        elif is_write:
+            # The local copy will be invalidated; the requester becomes
+            # the sole owner.
+            owner, sharer_mask = requester, 0
+        elif CODE_AFTER_REMOTE_READ[local_code] == STATE_OWNED:
+            # The local cache keeps the (still dirty) line and owns it.
+            owner, sharer_mask = home, 1 << requester
+        else:
+            owner, sharer_mask = -1, (1 << home) | (1 << requester)
+        self.pf.allocate_fast(line_address, owner, sharer_mask)
+
+        local_supplies = local_code != STATE_INVALID and requester != home
+        if local_supplies:
+            # The untracked local copy supplies (or is invalidated for)
+            # the requester; no DRAM access on the critical path.
+            if is_write:
+                hierarchies[home].handle_invalidate(line_address)
+            else:
+                hierarchies[home].handle_downgrade(line_address)
+            data_latency = self._send_data(_DATA_OWNER, home, requester)
+        else:
+            data_latency = self.mem_read(line_address)
+            data_latency += self._send_data(_DATA_MEM, home, requester)
+
+        if probe_latency > 0.0:
+            if local_code == STATE_INVALID and data_latency >= probe_latency:
+                dstats.local_probes_hidden += 1
+                sub = (
+                    data_latency
+                    if data_latency > probe_latency
+                    else probe_latency
+                )
+            else:
+                sub = probe_latency + data_latency
+        else:
+            sub = data_latency
+        if is_write:
+            return sub, STATE_MODIFIED
+        return sub, STATE_SHARED if local_supplies else STATE_EXCLUSIVE

@@ -5,14 +5,20 @@ Two engines can drive the paper's evaluation:
 * ``"reference"`` — the original :class:`~repro.system.machine.Machine`
   over the dataclass/dict cache model.  Clear, introspectable, slow.
 * ``"packed"`` — :class:`PackedMachine`, which swaps every node's cache
-  hierarchy for the flat-array :class:`~repro.cache.packed.PackedHierarchy`
-  and services the hit-dominated common case with index arithmetic
-  inlined straight into :meth:`PackedMachine.perform_access`.  Misses,
-  upgrades, directory transactions, probe-filter evictions, NUMA
-  remaps and eviction-notification corner modes all fall through to the
-  *shared* reference machinery (`Machine._service_miss`, the directory
-  controller, the network), so the rare structural paths have exactly
-  one implementation.
+  hierarchy for the flat-array :class:`~repro.cache.packed.PackedHierarchy`,
+  every node's sparse directory for the flat-array
+  :class:`~repro.core.packed_directory.PackedProbeFilter`, and services
+  both the hit-dominated common case (index arithmetic inlined straight
+  into :meth:`PackedMachine.perform_access`) and the common miss
+  flavours (probe-filter hits, ALLARM no-allocate local misses,
+  allocations into a free way — see
+  :class:`~repro.core.packed_directory.PackedDirectoryFastPath`) without
+  leaving the packed representation.  Only *structural* events fall
+  through to the *shared* reference machinery (`Machine._service_miss`,
+  the directory controller, the network): probe-filter evictions with
+  their invalidation fan-out, L2 eviction notifications, NUMA remaps
+  and page-table faults — so the rare paths have exactly one
+  implementation.
 
 The two engines must produce **bit-identical**
 :class:`~repro.stats.snapshot.MachineSnapshot`\\ s for any config and
@@ -27,7 +33,19 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from repro.cache.packed import ACCESS_MISS, POLICY_LRU, POLICY_PLRU, PackedHierarchy, plru_touch
+from repro.cache.packed import (
+    ACCESS_MISS,
+    CODE_CAN_WRITE,
+    CODE_IS_DIRTY,
+    CODE_IS_OWNER,
+    CODE_TO_STATE,
+    POLICY_LRU,
+    POLICY_PLRU,
+    PackedHierarchy,
+    plru_touch,
+)
+from repro.coherence.transactions import RequestKind
+from repro.core.packed_directory import PackedDirectoryFastPath, PackedProbeFilter
 from repro.errors import ConfigurationError
 from repro.system.config import SystemConfig
 from repro.system.machine import Machine
@@ -71,6 +89,10 @@ class PackedMachine(Machine):
     """
 
     hierarchy_class = PackedHierarchy
+    probe_filter_class = PackedProbeFilter
+
+    #: Eviction-notification modes, coded for the miss fast path.
+    _EVICT_MODES = {"none": 0, "owned": 1, "dirty": 2}
 
     def __init__(self, config: SystemConfig) -> None:
         super().__init__(config)
@@ -93,6 +115,17 @@ class PackedMachine(Machine):
         # in-range core to a node).
         self._translation_memo = self.allocator._translation_cache
         self._page_size = config.os.page_size
+        # Miss fast path: one packed servicer per home directory, sharing
+        # a lazily filled (src, dst) -> delivery-constants table.  The
+        # counters below split misses between the packed path and the
+        # reference structural path (probe-filter evictions etc.).
+        routes: dict = {}
+        self._fast_dirs = [
+            PackedDirectoryFastPath(self, node, routes) for node in self.nodes
+        ]
+        self._evict_mode = self._EVICT_MODES[config.directory.eviction_notification]
+        self.fast_misses = 0
+        self.deferred_misses = 0
         if config.core.replacement == "lru":
             # LRU (the Table I default) gets a branch-free specialisation;
             # the instance attribute shadows the generic method below.
@@ -201,6 +234,102 @@ class PackedMachine(Machine):
         return self._service_miss(
             node, core, line_paddr, is_write, is_instruction, code > ACCESS_MISS
         )
+
+    def _service_miss(
+        self,
+        node,
+        core: int,
+        line_paddr: int,
+        is_write: bool,
+        is_instruction: bool,
+        needs_upgrade: bool,
+    ) -> float:
+        """Packed miss path: directory transaction and fill, array-native.
+
+        Behaviourally identical to :meth:`Machine._service_miss` — same
+        counters, same replacement and protocol decisions, same latency
+        floats — but serviced through
+        :class:`~repro.core.packed_directory.PackedDirectoryFastPath`
+        with no ``Transaction``/``Message`` object churn.  Structural
+        events keep exactly one implementation by deferring to the
+        reference machinery: a probe-filter allocation into a full set
+        (eviction + invalidation fan-out) falls back to the inherited
+        slow path wholesale, and L2 eviction *notifications* are handed
+        to the reference ``DirectoryController.handle_cache_eviction``.
+        """
+        fast = self._fast_dirs[line_paddr // self._bytes_per_node]
+        pf = fast.pf
+        slot = pf.find_slot(line_paddr)
+        if (
+            slot < 0
+            and not pf.has_free_way(line_paddr)
+            and fast.policy.should_allocate(core, fast.node_id, line_paddr)
+        ):
+            # Structural event: the allocation would evict a probe-filter
+            # entry.  Nothing has been mutated yet — run the reference
+            # path end to end.
+            self.deferred_misses += 1
+            return Machine._service_miss(
+                self, node, core, line_paddr, is_write, is_instruction, needs_upgrade
+            )
+        self.fast_misses += 1
+
+        caches = node.caches
+        mshrs = caches.mshrs
+        mshrs.allocate(
+            line_paddr, RequestKind.WRITE if is_write else RequestKind.READ
+        )
+        latency, fill_code = fast.service(core, line_paddr, is_write, slot)
+        self.transactions_serviced += 1
+
+        if needs_upgrade:
+            # The line is already resident; only its state changes (the
+            # raw-array form of Cache.set_state, upgrade counting included).
+            fill_writable = CODE_CAN_WRITE[fill_code]
+            l2 = caches.l2
+            l2_slot = l2.find(line_paddr)
+            if fill_writable and not CODE_CAN_WRITE[l2.states[l2_slot]]:
+                l2.upgrades += 1
+            l2.states[l2_slot] = fill_code
+            for l1 in (caches.l1i, caches.l1d):
+                l1_slot = l1.find(line_paddr)
+                if l1_slot >= 0:
+                    if fill_writable and not CODE_CAN_WRITE[l1.states[l1_slot]]:
+                        l1.upgrades += 1
+                    l1.states[l1_slot] = fill_code
+        else:
+            victim = caches.l2._fill_code(line_paddr, fill_code)
+            if victim is not None:
+                victim_tag, victim_code, _ = victim
+                caches.l1i.invalidate(victim_tag)
+                caches.l1d.invalidate(victim_tag)
+                mode = self._evict_mode
+                if mode == 1:
+                    notify = CODE_IS_OWNER[victim_code]  # owned or dirty
+                elif mode == 2:
+                    notify = CODE_IS_DIRTY[victim_code]
+                else:
+                    notify = False
+                if notify:
+                    # Eviction notification: reference machinery (messages,
+                    # probe-filter update/deallocation, writeback).
+                    self.nodes[
+                        victim_tag // self._bytes_per_node
+                    ].directory.handle_cache_eviction(
+                        core, victim_tag, CODE_TO_STATE[victim_code]
+                    )
+                elif CODE_IS_DIRTY[victim_code]:
+                    # Even without a directory notification, dirty data
+                    # must reach memory.
+                    self._fast_dirs[
+                        victim_tag // self._bytes_per_node
+                    ].mem_writeback(victim_tag)
+            (caches.l1i if is_instruction else caches.l1d)._fill_code(
+                line_paddr, fill_code
+            )
+
+        mshrs.release(line_paddr)
+        return self._cache_latency + latency
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

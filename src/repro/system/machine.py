@@ -36,11 +36,13 @@ class Machine:
         System description; see :class:`repro.system.config.SystemConfig`.
     """
 
-    #: Cache-hierarchy implementation each node is built with.  The packed
-    #: engine (:class:`repro.system.fastcore.PackedMachine`) swaps in the
-    #: array-backed hierarchy here; everything else — directory, network,
-    #: NUMA, memory — is shared between the engines.
+    #: Cache-hierarchy and probe-filter implementations each node is built
+    #: with.  The packed engine (:class:`repro.system.fastcore.PackedMachine`)
+    #: swaps in the array-backed hierarchy and sparse directory here;
+    #: everything else — directory controller, network, NUMA, memory — is
+    #: shared between the engines.
     hierarchy_class = CacheHierarchy
+    probe_filter_class = ProbeFilter
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
@@ -93,7 +95,7 @@ class Machine:
             replacement=cfg.core.replacement,
             mshr_capacity=cfg.core.mshr_capacity,
         )
-        probe_filter = ProbeFilter(
+        probe_filter = self.probe_filter_class(
             node_id=node_id,
             coverage_bytes=cfg.directory.probe_filter_coverage,
             associativity=cfg.directory.probe_filter_associativity,
@@ -210,8 +212,16 @@ class Machine:
         is_instruction: bool,
         needs_upgrade: bool,
     ) -> float:
-        """Coherence slow path: directory transaction, fill and evictions."""
+        """Coherence slow path: directory transaction, fill and evictions.
+
+        The miss occupies an MSHR slot for its (atomic) duration; a line
+        pre-registered as in flight (e.g. by a bursty trace-replay
+        harness) merges into the existing entry, and completion retires
+        the whole entry — the packed fast path mirrors this exactly.
+        """
         kind = RequestKind.WRITE if is_write else RequestKind.READ
+        mshrs = node.caches.mshrs
+        mshrs.allocate(line_paddr, kind)
         home = self.nodes[line_paddr // self._bytes_per_node].directory
         outcome = home.service_request(core, line_paddr, kind)
         self.transactions_serviced += 1
@@ -229,6 +239,7 @@ class Machine:
             if evicted:
                 self._handle_evictions(core, evicted)
 
+        mshrs.release(line_paddr)
         return self._cache_latency + outcome.transaction.latency_ns
 
     def _handle_evictions(self, core: int, evicted: List[EvictedLine]) -> None:

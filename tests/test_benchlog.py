@@ -1,0 +1,227 @@
+"""Regression tests for the persisted benchmark trajectory store.
+
+The original implementation could silently wipe the whole trajectory:
+``load_bench_log`` degraded *any* damage — one corrupt byte, a stale
+schema field, a stray non-dict entry — to an empty log, and the next
+append rewrote the file with only the new entry.  Outside a git checkout
+or on a dirty tree the ``git_sha`` stamp was also misleading.  These
+tests pin the fixed behaviour: schema validation on append, salvage
+instead of wipe, corrupt-file preservation, and robust sha resolution.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+import pytest
+
+from repro.analysis.benchlog import (
+    BENCH_LOG_SCHEMA,
+    MAX_ENTRIES,
+    append_bench_entry,
+    git_sha,
+    latest_entry,
+    load_bench_log,
+    validate_entry,
+)
+
+
+def read_json(path):
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(autouse=True)
+def logging_enabled(monkeypatch):
+    """Isolate from the host environment (CI runs tier-1 with logging off)."""
+    monkeypatch.setenv("REPRO_BENCH_LOG", "1")
+
+
+class TestAppendAndLoad:
+    def test_round_trip_and_stamping(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        log = tmp_path / "BENCH.json"
+        append_bench_entry(log, {"bench": "x", "rate": 1.5})
+        append_bench_entry(log, {"bench": "y", "rate": 2.5})
+        data = load_bench_log(log)
+        assert data["schema"] == BENCH_LOG_SCHEMA
+        assert [e["bench"] for e in data["entries"]] == ["x", "y"]
+        for entry in data["entries"]:
+            assert entry["git_sha"] == "cafebabe"
+            assert "timestamp" in entry
+        assert latest_entry(log, bench="x")["rate"] == 1.5
+
+    def test_entry_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        log = tmp_path / "BENCH.json"
+        payload = {
+            "schema": BENCH_LOG_SCHEMA,
+            "entries": [{"bench": "old", "n": i} for i in range(MAX_ENTRIES)],
+        }
+        log.write_text(json.dumps(payload))
+        append_bench_entry(log, {"bench": "new"})
+        entries = load_bench_log(log)["entries"]
+        assert len(entries) == MAX_ENTRIES
+        assert entries[-1]["bench"] == "new"
+        assert entries[0]["n"] == 1  # oldest scrolled off
+
+    def test_disabled_logging_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_LOG", "0")
+        log = tmp_path / "BENCH.json"
+        assert append_bench_entry(log, {"bench": "x"}) is None
+        assert not log.exists()
+
+
+class TestSchemaValidationOnAppend:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {},
+            "not a dict",
+            {"": 1},
+            {3: "x"},
+            {"nested": {"a": 1}},
+            {"listy": [1, 2]},
+            {"nan": float("nan")},
+            {"inf": float("inf")},
+            {"timestamp": "forged"},
+            {"git_sha": "forged"},
+        ],
+    )
+    def test_rejects_malformed_entries(self, tmp_path, bad):
+        with pytest.raises(ValueError):
+            validate_entry(bad)
+        log = tmp_path / "BENCH.json"
+        with pytest.raises(ValueError):
+            append_bench_entry(log, bad)
+        assert not log.exists()
+
+    def test_accepts_flat_scalar_entries(self):
+        validate_entry({"bench": "x", "rate": 1.0, "n": 3, "ok": True, "note": None})
+
+
+class TestDamageSalvage:
+    """One bad byte must never erase the whole perf history again."""
+
+    def test_stale_schema_keeps_valid_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        log = tmp_path / "BENCH.json"
+        log.write_text(
+            json.dumps({"schema": 999, "entries": [{"bench": "old", "rate": 1.0}]})
+        )
+        append_bench_entry(log, {"bench": "new"})
+        entries = load_bench_log(log)["entries"]
+        assert [e["bench"] for e in entries] == ["old", "new"]
+
+    def test_stray_non_dict_entries_are_dropped_not_fatal(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        log = tmp_path / "BENCH.json"
+        log.write_text(
+            json.dumps(
+                {
+                    "schema": BENCH_LOG_SCHEMA,
+                    "entries": [{"bench": "old"}, "garbage", 42, {"bench": "old2"}],
+                }
+            )
+        )
+        append_bench_entry(log, {"bench": "new"})
+        entries = load_bench_log(log)["entries"]
+        assert [e["bench"] for e in entries] == ["old", "old2", "new"]
+
+    def test_unparsable_file_is_preserved_not_overwritten(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        log = tmp_path / "BENCH.json"
+        log.write_text("{this is not json")
+        append_bench_entry(log, {"bench": "new"})
+        assert [e["bench"] for e in load_bench_log(log)["entries"]] == ["new"]
+        backup = tmp_path / "BENCH.json.corrupt"
+        assert backup.read_text() == "{this is not json"
+
+    def test_valid_empty_log_is_not_flagged_corrupt(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        log = tmp_path / "BENCH.json"
+        log.write_text(json.dumps({"schema": BENCH_LOG_SCHEMA, "entries": []}))
+        append_bench_entry(log, {"bench": "new"})
+        assert [e["bench"] for e in load_bench_log(log)["entries"]] == ["new"]
+        assert not (tmp_path / "BENCH.json.corrupt").exists()
+
+    def test_second_corruption_does_not_clobber_first_backup(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        log = tmp_path / "BENCH.json"
+        log.write_text("first damage")
+        append_bench_entry(log, {"bench": "a"})
+        log.write_text("second damage")
+        append_bench_entry(log, {"bench": "b"})
+        assert (tmp_path / "BENCH.json.corrupt").read_text() == "first damage"
+        assert (tmp_path / "BENCH.json.corrupt-1").read_text() == "second damage"
+        assert [e["bench"] for e in load_bench_log(log)["entries"]] == ["b"]
+
+
+class TestShaResolution:
+    def test_env_override_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "deadbeef")
+        assert git_sha(tmp_path) == "deadbeef"
+
+    def test_outside_checkout_is_unknown(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        assert git_sha(tmp_path) == "unknown"
+
+    def test_nonexistent_root_does_not_crash(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        assert isinstance(git_sha(tmp_path / "missing" / "deeper"), str)
+
+    def _git(self, *args, cwd):
+        return subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True, timeout=30
+        )
+
+    def test_real_checkout_sha_and_dirty_suffix(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        if self._git("--version", cwd=tmp_path).returncode != 0:
+            pytest.skip("git unavailable")
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self._git("init", "-q", cwd=repo)
+        self._git("config", "user.email", "t@example.com", cwd=repo)
+        self._git("config", "user.name", "t", cwd=repo)
+        (repo / "file.txt").write_text("one\n")
+        self._git("add", "file.txt", cwd=repo)
+        commit = self._git("commit", "-q", "-m", "init", cwd=repo)
+        if commit.returncode != 0:
+            pytest.skip(f"cannot commit in sandbox: {commit.stderr.strip()}")
+        clean = git_sha(repo)
+        assert len(clean) == 40 and "+dirty" not in clean
+        # Resolution walks up from nested paths inside the checkout.
+        nested = repo / "a" / "b"
+        nested.mkdir(parents=True)
+        assert git_sha(nested) == clean
+        (repo / "file.txt").write_text("two\n")
+        assert git_sha(repo) == clean + "+dirty"
+
+    def test_trajectory_files_do_not_count_as_dirty(self, tmp_path, monkeypatch):
+        # Appending to a git-tracked BENCH_*.json must not make every
+        # subsequent entry of the same run read "+dirty".
+        monkeypatch.delenv("REPRO_GIT_SHA", raising=False)
+        if self._git("--version", cwd=tmp_path).returncode != 0:
+            pytest.skip("git unavailable")
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self._git("init", "-q", cwd=repo)
+        self._git("config", "user.email", "t@example.com", cwd=repo)
+        self._git("config", "user.name", "t", cwd=repo)
+        (repo / "BENCH_hotpath.json").write_text("{}")
+        self._git("add", "BENCH_hotpath.json", cwd=repo)
+        commit = self._git("commit", "-q", "-m", "init", cwd=repo)
+        if commit.returncode != 0:
+            pytest.skip(f"cannot commit in sandbox: {commit.stderr.strip()}")
+        clean = git_sha(repo)
+        assert "+dirty" not in clean
+        # Modified trajectory + a brand-new .corrupt backup: still clean.
+        (repo / "BENCH_hotpath.json").write_text('{"schema": 1, "entries": []}')
+        (repo / "BENCH_hotpath.json.corrupt").write_text("damage")
+        assert git_sha(repo) == clean
+        # Real source damage still flips the suffix.
+        (repo / "code.py").write_text("x = 1\n")
+        assert git_sha(repo) == clean + "+dirty"

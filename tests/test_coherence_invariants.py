@@ -17,10 +17,12 @@ from repro.coherence.invariants import (
     cached_line_states,
     check_directory_tracking,
     check_machine_invariants,
+    check_mshr_quiescence,
     check_probe_filter_structure,
     check_single_writer,
 )
 from repro.coherence.states import LineState
+from repro.coherence.transactions import RequestKind
 from repro.errors import ProtocolError
 from repro.system.config import (
     CoreConfig,
@@ -181,6 +183,147 @@ class TestInvariantStrength:
         wrong.entries[entry.way] = entry
         with pytest.raises(ProtocolError, match="hashes to set"):
             check_probe_filter_structure(machine)
+
+
+class TestPackedMutationStrength:
+    """Targeted corruptions of the packed PF/L2 arrays must all be caught.
+
+    Each test injects one corruption class into a healthy packed machine
+    and asserts the invariant checker (or, for pure counter damage,
+    ``snapshot_diff``) detects it — guarding against a checker that only
+    understands the reference object graph and stays silent on the
+    arrays the default engine actually runs on.
+    """
+
+    def warmed_packed(self, policy: str = "baseline"):
+        from repro.system.fastcore import build_machine
+
+        machine = build_machine(tiny_config(policy), "packed")
+        base = 0x4000_0000
+        # Core 0 first-touches one page (homing it on node 0), then the
+        # other cores read distinct lines of it — page-internal lines land
+        # in distinct probe-filter sets, so node 0's filter ends up with
+        # stable entries carrying a live owner and a remote sharer set.
+        for line in range(PAGES):
+            machine.perform_access(0, 0, base + line * 64, False)
+        for core in range(1, CORES):
+            for line in range(PAGES):
+                machine.perform_access(core, 0, base + line * 64, False)
+        check_machine_invariants(machine)
+        return machine
+
+    def tracked_slot(self, machine):
+        """(node, pf, slot) of an entry with an owner and remote sharers."""
+        for node in machine.nodes:
+            pf = node.probe_filter
+            for slot in range(pf.entry_count):
+                if pf.tags[slot] >= 0 and pf.owners[slot] >= 0 and pf.sharer_bits[slot]:
+                    return node, pf, slot
+        pytest.fail("warm-up produced no owner+sharers entry")
+
+    def test_detects_out_of_range_sharer_bit(self):
+        machine = self.warmed_packed()
+        _, pf, slot = self.tracked_slot(machine)
+        pf.sharer_bits[slot] |= 1 << CORES  # bit beyond the mesh
+        with pytest.raises(ProtocolError, match="outside"):
+            check_probe_filter_structure(machine)
+
+    def test_detects_cleared_holder_bit(self):
+        machine = self.warmed_packed()
+        _, pf, slot = self.tracked_slot(machine)
+        # Drop one real sharer from the mask: the directory now
+        # under-approximates the holders, which would let a stale copy
+        # survive an invalidation.
+        mask = pf.sharer_bits[slot]
+        pf.sharer_bits[slot] = mask & (mask - 1)
+        with pytest.raises(ProtocolError, match="actually hold"):
+            check_directory_tracking(machine)
+
+    def test_detects_stale_owner(self):
+        machine = self.warmed_packed()
+        _, pf, slot = self.tracked_slot(machine)
+        # Repoint the owner at a node that holds nothing and erase the
+        # sharers: every real holder goes untracked.
+        real_owner = pf.owners[slot]
+        pf.owners[slot] = (real_owner + 1) % CORES
+        pf.sharer_bits[slot] = 0
+        with pytest.raises(ProtocolError, match="actually hold"):
+            check_directory_tracking(machine)
+
+    def test_detects_dangling_mshr(self):
+        machine = self.warmed_packed()
+        machine.nodes[2].caches.mshrs.allocate(0x9990_0040, RequestKind.READ)
+        with pytest.raises(ProtocolError, match="dangling MSHR"):
+            check_mshr_quiescence(machine)
+        machine.nodes[2].caches.mshrs.release(0x9990_0040)
+        check_machine_invariants(machine)
+
+    def test_detects_residual_holders_on_free_way(self):
+        machine = self.warmed_packed()
+        _, pf, slot = self.tracked_slot(machine)
+        pf.tags[slot] = -1  # free the way but leave the holder fields
+        with pytest.raises(ProtocolError, match="still records holders"):
+            check_probe_filter_structure(machine)
+
+    def test_detects_duplicate_and_wrong_set_tags(self):
+        machine = self.warmed_packed()
+        _, pf, slot = self.tracked_slot(machine)
+        tag = pf.tags[slot]
+        assoc = pf.associativity
+        base = (slot // assoc) * assoc
+        free = next(
+            (s for s in range(base, base + assoc) if pf.tags[s] < 0), None
+        )
+        if free is not None:
+            pf.tags[free] = tag  # duplicate within the right set
+            with pytest.raises(ProtocolError, match="duplicate"):
+                check_probe_filter_structure(machine)
+            pf.tags[free] = -1
+        other_set = (slot // assoc + 1) % pf.set_count
+        moved = other_set * assoc + slot % assoc
+        displaced = pf.tags[moved]
+        pf.tags[slot], pf.tags[moved] = -1, tag
+        pf.owners[moved], pf.owners[slot] = pf.owners[slot], -1
+        pf.sharer_bits[moved], pf.sharer_bits[slot] = pf.sharer_bits[slot], 0
+        del displaced
+        with pytest.raises(ProtocolError, match="hashes to set"):
+            check_probe_filter_structure(machine)
+
+    def test_detects_second_writer_in_packed_l2(self):
+        machine = self.warmed_packed()
+        line_address, holders = next(
+            (item for item in cached_line_states(machine).items() if len(item[1]) > 1),
+            (None, None),
+        )
+        assert line_address is not None, "warm-up produced no shared line"
+        # Flip one holder's packed L2 state byte to MODIFIED.
+        from repro.cache.packed import STATE_MODIFIED
+
+        node_id = next(iter(holders))
+        l2 = machine.nodes[node_id].caches.l2
+        l2.states[l2.find(line_address)] = STATE_MODIFIED
+        with pytest.raises(ProtocolError, match="writable"):
+            check_single_writer(machine)
+
+    def test_snapshot_diff_catches_counter_and_occupancy_damage(self):
+        from repro.stats.compare import snapshot_diff
+        from repro.stats.snapshot import collect
+
+        machine = self.warmed_packed()
+        clean = collect(machine)
+        pf = machine.nodes[0].probe_filter
+        pf.reads += 1  # silent counter corruption: invisible to invariants
+        diffs = snapshot_diff(clean, collect(machine))
+        assert any("pf_reads" in diff for diff in diffs)
+        pf.reads -= 1
+        slot = next(s for s in range(pf.entry_count) if pf.tags[s] >= 0)
+        tag = pf.tags[slot]
+        pf.tags[slot] = -1
+        pf.owners[slot] = -1
+        pf.sharer_bits[slot] = 0
+        diffs = snapshot_diff(clean, collect(machine))
+        assert any("pf_occupancy" in diff for diff in diffs)
+        pf.tags[slot] = tag
 
 
 class TestSimulatedWorkloadsKeepInvariants:

@@ -1,0 +1,192 @@
+"""Conformance-first differential fuzzing: packed vs. reference, mid-run.
+
+The cross-engine suite (``test_cross_engine.py``) compares snapshots at
+the *end* of each run; a divergence that a later access happens to cancel
+out would slip through.  This harness adopts the LITMUS-RT workload
+generator's idiom — parameterized randomized stress streams as the
+primary correctness instrument — and tightens the contract: hypothesis
+drives long random access streams through a packed and a reference
+machine *in lock-step* and asserts
+:func:`repro.stats.compare.snapshot_diff` is empty at a sampled step
+cadence, not just at the end.  Streams shrink like any hypothesis
+example, so a failure minimises to the shortest diverging prefix.
+
+The grid covers process layouts (1p / 2p / 4p: how process ids map onto
+cores, which steers NUMA placement and the local/remote request mix),
+both directory policies, every eviction-notification mode and the non-LRU
+replacement policies.  A miss-heavy dual-engine smoke over the
+false-sharing and migratory families rides along for the CI cross-engine
+gate (those families are the ones the packed miss path exists for).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.plan import ExperimentSettings, RunSpec
+from repro.stats.compare import assert_snapshots_identical, snapshot_diff
+from repro.stats.snapshot import collect
+from repro.system.config import (
+    CoreConfig,
+    DirectoryConfig,
+    NetworkConfig,
+    SystemConfig,
+)
+from repro.system.fastcore import build_machine
+from repro.system.simulator import Simulator
+from repro.trace.record import AccessType
+
+CORES = 4
+PAGES = 6
+LINES_PER_PAGE = 4
+BASE_VADDR = 0x4000_0000
+
+#: Process-id layouts: how the stream's accesses map onto processes.
+#: ``1p`` = one address space shared by all cores, ``2p`` = two processes
+#: on alternating cores, ``4p`` = one process per core.
+LAYOUTS = ("1p", "2p", "4p")
+
+
+def tiny_config(
+    policy: str,
+    eviction_notification: str = "dirty",
+    replacement: str = "lru",
+    pf_coverage: int = 2048,
+) -> SystemConfig:
+    """A 4-node machine small enough that every structure thrashes."""
+    return SystemConfig(
+        core_count=CORES,
+        core=CoreConfig(
+            l1i_size=1024, l1d_size=1024, l2_size=2048, replacement=replacement
+        ),
+        directory=DirectoryConfig(
+            probe_filter_coverage=pf_coverage,
+            memory_bytes=64 * 1024 * 1024,
+            eviction_notification=eviction_notification,
+        ),
+        network=NetworkConfig(mesh_width=2, mesh_height=2),
+        directory_policy=policy,
+    )
+
+
+def process_of(layout: str, core: int) -> int:
+    if layout == "1p":
+        return 0
+    if layout == "2p":
+        return core % 2
+    return core
+
+
+def run_lockstep(config: SystemConfig, stream, layout: str, cadence: int) -> None:
+    """Drive both engines access-for-access; diff snapshots every *cadence*.
+
+    Replays the stream exactly the way ``Simulator.run`` does (same clock
+    and instruction accounting), so the sampled snapshots are the ones a
+    real run would have produced had it stopped there.
+    """
+    machines = [build_machine(config, "reference"), build_machine(config, "packed")]
+    work_ns = config.core.cpu_work_per_access_ns
+    for step, (core, page, line, kind) in enumerate(stream, start=1):
+        vaddr = BASE_VADDR + page * 4096 + line * 64
+        is_write = kind is AccessType.WRITE
+        is_instruction = kind is AccessType.INSTRUCTION
+        for machine in machines:
+            clock = machine.nodes[core].clock
+            clock.instructions += 1
+            clock.now_ns += work_ns
+            latency = machine.perform_access(
+                core, process_of(layout, core), vaddr, is_write, is_instruction
+            )
+            clock.now_ns += latency
+            clock.stall_ns += latency
+        if step % cadence == 0 or step == len(stream):
+            diffs = snapshot_diff(collect(machines[0]), collect(machines[1]))
+            assert diffs == [], (
+                f"engines diverged at step {step}/{len(stream)} "
+                f"(layout {layout}): {diffs}"
+            )
+
+
+access_strategy = st.tuples(
+    st.integers(min_value=0, max_value=CORES - 1),
+    st.integers(min_value=0, max_value=PAGES - 1),
+    st.integers(min_value=0, max_value=LINES_PER_PAGE - 1),
+    st.sampled_from(
+        [AccessType.READ, AccessType.READ, AccessType.WRITE, AccessType.INSTRUCTION]
+    ),
+)
+
+stream_strategy = st.lists(access_strategy, min_size=1, max_size=200)
+
+#: Snapshot sampling cadences (steps between mid-run comparisons).
+cadence_strategy = st.sampled_from([7, 17, 33])
+
+layout_strategy = st.sampled_from(LAYOUTS)
+
+
+class TestLockstepFuzz:
+    """Random streams, bit-identity checked mid-run at sampled cadences."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(stream=stream_strategy, cadence=cadence_strategy, layout=layout_strategy)
+    @pytest.mark.parametrize("mode", ["none", "dirty", "owned"])
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    def test_policy_eviction_grid(self, policy, mode, stream, cadence, layout):
+        run_lockstep(
+            tiny_config(policy, eviction_notification=mode), stream, layout, cadence
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(stream=stream_strategy, cadence=cadence_strategy, layout=layout_strategy)
+    @pytest.mark.parametrize("replacement", ["plru", "random"])
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    def test_replacement_grid(self, policy, replacement, stream, cadence, layout):
+        run_lockstep(
+            tiny_config(policy, replacement=replacement), stream, layout, cadence
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(stream=stream_strategy, cadence=cadence_strategy, layout=layout_strategy)
+    def test_thrashing_probe_filter(self, stream, cadence, layout):
+        # The smallest legal filter maximises eviction pressure, forcing
+        # the packed engine onto its structural-deferral path constantly.
+        run_lockstep(tiny_config("allarm", pf_coverage=1024), stream, layout, cadence)
+
+
+#: Small but genuinely miss-heavy settings for the family smoke.
+MISS_HEAVY = ExperimentSettings(
+    scale=16, accesses=4000, multiprocess_accesses=2000, seed=3
+)
+
+#: The families whose misses the packed directory fast path exists for.
+MISS_HEAVY_FAMILIES = ("false-sharing", "migratory")
+
+
+class TestMissHeavyDualEngineSmoke:
+    """False-sharing + migratory on both engines, via the real RunSpec path.
+
+    These are the workloads where PR 3's engine degenerated to reference
+    speed; they drive probe-filter hits, invalidation fan-out, ownership
+    handoff and upgrade traffic through the packed miss path at volume.
+    Referenced by the CI cross-engine gate as the miss-heavy smoke.
+    """
+
+    @pytest.mark.parametrize("family", MISS_HEAVY_FAMILIES)
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    def test_family_is_bit_identical(self, family, policy):
+        spec = RunSpec(family, policy, settings=MISS_HEAVY)
+        records = list(spec.access_stream())
+        packed = Simulator(spec.config(), engine="packed")
+        reference = Simulator(spec.config(), engine="reference")
+        packed_result = packed.run(records, family)
+        reference_result = reference.run(records, family)
+        assert_snapshots_identical(
+            reference_result.snapshot,
+            packed_result.snapshot,
+            context=f"{family}/{policy}",
+        )
+        # The smoke must actually exercise the packed miss path, not the
+        # L1 fast path: misses must dominate and be serviced fast.
+        assert packed_result.snapshot.l2_misses > len(records) // 10
+        assert packed.machine.fast_misses > 0

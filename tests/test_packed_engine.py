@@ -311,6 +311,151 @@ class TestMshrUnderPackedLayout:
         assert reference.stats.__dict__ == packed.stats.__dict__
 
 
+class TestPackedMissPath:
+    """Regression tests for the packed directory fast path itself.
+
+    Each scenario pins one miss flavour — probe-filter hit, no-allocate
+    miss, allocating miss, PF eviction, MSHR merge, eviction-notification
+    corner modes — by driving a packed and a reference machine through
+    the identical access sequence and comparing full snapshots, while the
+    packed machine's ``fast_misses`` / ``deferred_misses`` counters prove
+    the scenario ran on the fast path (or deferred exactly when a
+    structural event demanded it), not via wholesale fallback.
+    """
+
+    BASE = 0x4000_0000
+
+    def make_machines(self, policy="baseline", pf_coverage=2048, mode="dirty"):
+        from repro.stats.compare import snapshot_diff
+        from repro.stats.snapshot import collect
+        from repro.system.config import (
+            CoreConfig,
+            DirectoryConfig,
+            NetworkConfig,
+            SystemConfig,
+        )
+        from repro.system.fastcore import build_machine
+
+        config = SystemConfig(
+            core_count=4,
+            core=CoreConfig(l1i_size=1024, l1d_size=1024, l2_size=2048),
+            directory=DirectoryConfig(
+                probe_filter_coverage=pf_coverage,
+                memory_bytes=64 * 1024 * 1024,
+                eviction_notification=mode,
+            ),
+            network=NetworkConfig(mesh_width=2, mesh_height=2),
+            directory_policy=policy,
+        )
+        packed = build_machine(config, "packed")
+        reference = build_machine(config, "reference")
+
+        def assert_identical():
+            assert snapshot_diff(collect(reference), collect(packed)) == []
+
+        return packed, reference, assert_identical
+
+    def drive(self, machines, accesses):
+        for core, vaddr, is_write in accesses:
+            for machine in machines:
+                machine.perform_access(core, 0, vaddr, is_write)
+
+    def test_pf_hit_read_and_write_run_fast(self):
+        packed, reference, assert_identical = self.make_machines()
+        base = self.BASE
+        # Core 0 homes the lines; remote reads then a remote write hit the
+        # probe filter (supplier forward, sharer fan-out, invalidations).
+        accesses = [(0, base + line * 64, False) for line in range(4)]
+        accesses += [(core, base + line * 64, False) for core in (1, 2) for line in range(4)]
+        accesses += [(3, base + line * 64, True) for line in range(4)]
+        self.drive((packed, reference), accesses)
+        assert packed.fast_misses > 0
+        assert packed.deferred_misses == 0
+        assert packed.nodes[0].probe_filter.hits > 0
+        assert_identical()
+
+    def test_allarm_local_miss_allocates_nothing_and_runs_fast(self):
+        packed, reference, assert_identical = self.make_machines(policy="allarm")
+        base = self.BASE
+        self.drive(
+            (packed, reference),
+            [(0, base + line * 64, line % 3 == 0) for line in range(8)],
+        )
+        # ALLARM local misses: serviced fast, no directory state at all.
+        assert packed.fast_misses == 8
+        assert packed.deferred_misses == 0
+        assert packed.nodes[0].probe_filter.allocations == 0
+        assert packed.nodes[0].probe_filter.occupancy() == 0
+        assert_identical()
+
+    def test_pf_eviction_defers_to_reference_machinery(self):
+        # pf_coverage=1024 -> 4 sets of 4 ways; stride-256 lines all hash
+        # to set 0, so the fifth remote allocation must evict.
+        packed, reference, assert_identical = self.make_machines(pf_coverage=1024)
+        base = self.BASE
+        self.drive((packed, reference), [(0, base, False)])  # home the page
+        self.drive(
+            (packed, reference),
+            [(1, base + line * 256, False) for line in range(6)],
+        )
+        assert packed.deferred_misses > 0
+        assert packed.fast_misses > 0
+        assert packed.nodes[0].probe_filter.evictions > 0
+        assert_identical()
+
+    def test_mshr_merge_on_inflight_miss(self):
+        from repro.coherence.transactions import RequestKind
+
+        packed, reference, assert_identical = self.make_machines()
+        vaddr = self.BASE + 0x40
+        for machine in (packed, reference):
+            # Pre-register the line as an in-flight miss (what a bursty
+            # trace-replay harness would do), then let the miss complete:
+            # the service must merge into the existing entry and retire it.
+            paddr = machine.allocator.translate(0, 0, vaddr)
+            line = paddr & ~(machine.config.line_size - 1)
+            mshrs = machine.nodes[0].caches.mshrs
+            mshrs.allocate(line, RequestKind.READ)
+            machine.perform_access(0, 0, vaddr, True)
+            assert mshrs.stats.merges == 1
+            assert mshrs.stats.allocations == 1
+            assert mshrs.stats.releases == 1
+            assert mshrs.occupancy == 0
+        assert packed.fast_misses == 1
+        assert (
+            packed.nodes[0].caches.mshrs.stats.__dict__
+            == reference.nodes[0].caches.mshrs.stats.__dict__
+        )
+        assert_identical()
+
+    def test_mshr_slot_held_for_exactly_the_miss_duration(self):
+        packed, _, _ = self.make_machines()
+        mshrs = packed.nodes[1].caches.mshrs
+        packed.perform_access(1, 0, self.BASE, False)
+        assert mshrs.stats.allocations == 1
+        assert mshrs.stats.releases == 1
+        assert mshrs.stats.peak_occupancy == 1
+        assert mshrs.occupancy == 0
+
+    @pytest.mark.parametrize("mode", ["none", "dirty", "owned"])
+    def test_eviction_notification_corner_modes_run_fast(self, mode):
+        # Dirty the lines, then stream enough conflicting lines through
+        # the tiny L2 to evict them — every notification flavour (silent
+        # drop, writeback-only, owned notice) crosses the fast-path fill.
+        packed, reference, assert_identical = self.make_machines(
+            pf_coverage=8192, mode=mode
+        )
+        base = self.BASE
+        accesses = [(0, base + line * 64, True) for line in range(8)]
+        accesses += [(0, base + 2048 + line * 64, False) for line in range(32)]
+        accesses += [(0, base + line * 64, False) for line in range(8)]
+        self.drive((packed, reference), accesses)
+        assert packed.deferred_misses == 0
+        assert packed.fast_misses > 0
+        assert packed.nodes[0].caches.l2.evictions > 0
+        assert_identical()
+
+
 class TestPackedCacheConstruction:
     def test_validation_matches_reference(self):
         for bad in (
