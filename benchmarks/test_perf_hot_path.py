@@ -23,10 +23,19 @@ PR 3 ~1.0M/s.
 A second gate covers the **miss path**: the miss-heavy micro families
 (false-sharing, migratory, hotspot) replay on both engines and the
 packed engine must hold at least ``REPRO_PERF_MISS_MIN_RATIO`` (default
-1.5x) on every family — the workloads that degenerated to reference
+2.0x) on every family — the workloads that degenerated to reference
 speed before the packed directory fast path existed.  Each family/engine
 measurement is appended to the same trajectory with ``bench:
 "miss_path"``.
+
+A third gate covers the **structural path**: eviction-heavy
+configurations (a starved probe filter under the baseline policy, so
+almost every allocation evicts and fans out invalidations) replay on
+both engines; the packed engine must hold
+``REPRO_PERF_STRUCTURAL_MIN_RATIO`` (default 2.0x; measured ~3.5x) per
+family **with zero deferred misses** — before the packed structural
+path these runs deferred wholesale and sat at ~1x.  Entries land in the
+trajectory with ``bench: "structural_path"``.
 
 Knobs:
 
@@ -35,9 +44,13 @@ Knobs:
 * ``REPRO_PERF_MIN_RATIO=F``       — packed/reference hot-path ratio floor
   (default 2.5; the tentpole target is 3x).
 * ``REPRO_PERF_MISS_MIN_RATIO=F``  — packed/reference miss-path ratio floor
-  per miss-heavy family (default 1.5).
+  per miss-heavy family (default 2.0).
+* ``REPRO_PERF_STRUCTURAL_MIN_RATIO=F`` — packed/reference ratio floor per
+  eviction-heavy family (default 2.0).
 * ``REPRO_PERF_ACCESSES=N``        — override the hot-path trace length.
 * ``REPRO_PERF_MISS_ACCESSES=N``   — override the per-family miss trace length.
+* ``REPRO_PERF_STRUCTURAL_ACCESSES=N`` — override the per-family
+  eviction-heavy trace length.
 * ``REPRO_BENCH_LOG=0``            — do not append to BENCH_hotpath.json.
 """
 
@@ -65,9 +78,17 @@ DEFAULT_MIN_RATE = 100_000.0
 #: Packed/reference speed ratio floor (the CI perf-regression gate).
 DEFAULT_MIN_RATIO = 2.5
 #: Packed/reference ratio floor on each miss-heavy family.
-DEFAULT_MISS_MIN_RATIO = 1.5
+DEFAULT_MISS_MIN_RATIO = 2.0
 #: The families whose misses the packed directory fast path targets.
 MISS_HEAVY_FAMILIES = ("false-sharing", "migratory", "hotspot")
+#: Packed/reference ratio floor on each eviction-heavy configuration.
+DEFAULT_STRUCTURAL_MIN_RATIO = 2.0
+#: Families for the structural gate: run under the baseline policy with a
+#: starved probe filter, so almost every allocation evicts and fans out.
+STRUCTURAL_FAMILIES = ("stream-scan", "hotspot")
+#: Nominal probe-filter coverage for the structural gate (scaled /16 at
+#: run time: 2 kB of actual coverage — constant thrash).
+STRUCTURAL_PF_SIZE = 32 * 1024
 #: Hot-set size in lines; fits the L1 so steady state is all hits.
 HOT_LINES = 16
 LINE_SIZE = 64
@@ -175,7 +196,7 @@ def _timed_family_run(engine: str, config, records, repeats: int = 2):
     return result, best_elapsed, machine
 
 
-def test_packed_miss_path_rate_and_ratio():
+def test_packed_miss_path_rate_and_ratio(monkeypatch):
     """Miss-heavy families: packed must beat reference on its miss path.
 
     Before the packed directory fast path these families fell back to
@@ -185,6 +206,9 @@ def test_packed_miss_path_rate_and_ratio():
     """
     from repro.analysis.plan import ExperimentSettings, RunSpec
 
+    # The gate pins fast/deferred counters and times the fast path, so
+    # neutralise any ambient forced-deferral knob first.
+    monkeypatch.delenv("REPRO_PACKED_DEFER", raising=False)
     access_count = int(os.environ.get("REPRO_PERF_MISS_ACCESSES", "30000"))
     min_ratio = float(
         os.environ.get("REPRO_PERF_MISS_MIN_RATIO", str(DEFAULT_MISS_MIN_RATIO))
@@ -247,5 +271,90 @@ def test_packed_miss_path_rate_and_ratio():
     failing = {f: r for f, r in ratios.items() if r < min_ratio}
     assert not failing, (
         f"packed engine below the {min_ratio:.2f}x miss-path gate on: "
+        + ", ".join(f"{f} ({r:.2f}x)" for f, r in failing.items())
+    )
+
+
+def test_packed_structural_path_rate_and_ratio(monkeypatch):
+    """Eviction-heavy configs: the packed structural path must carry them.
+
+    A starved probe filter under the baseline policy makes almost every
+    allocation evict a victim and fan out invalidations — exactly the
+    runs that deferred wholesale (and sat near 1x) before the packed
+    structural path.  The gate pins the recovered speedup per family,
+    requires genuinely eviction-heavy behaviour, and requires that not a
+    single miss deferred.
+    """
+    from repro.analysis.plan import ExperimentSettings, RunSpec
+
+    # deferred_misses == 0 is part of the gate: neutralise any ambient
+    # forced-deferral knob (REPRO_PACKED_DEFER) before measuring.
+    monkeypatch.delenv("REPRO_PACKED_DEFER", raising=False)
+    access_count = int(os.environ.get("REPRO_PERF_STRUCTURAL_ACCESSES", "30000"))
+    min_ratio = float(
+        os.environ.get(
+            "REPRO_PERF_STRUCTURAL_MIN_RATIO", str(DEFAULT_STRUCTURAL_MIN_RATIO)
+        )
+    )
+    settings = ExperimentSettings(
+        scale=16, accesses=access_count, multiprocess_accesses=access_count, seed=0
+    )
+
+    ratios = {}
+    for family in STRUCTURAL_FAMILIES:
+        spec = RunSpec(
+            family, "baseline", pf_size=STRUCTURAL_PF_SIZE, settings=settings
+        )
+        records = list(spec.access_stream())
+        config = spec.config()
+        reference_result, reference_s, _ = _timed_family_run(
+            "reference", config, records
+        )
+        packed_result, packed_s, machine = _timed_family_run(
+            "packed", config, records
+        )
+
+        assert_snapshots_identical(
+            reference_result.snapshot,
+            packed_result.snapshot,
+            context=f"structural-path/{family}",
+        )
+        # The run must really hammer the structural events, and the
+        # packed engine must have serviced all of them in place.
+        assert packed_result.snapshot.pf_evictions > len(records) // 100
+        assert machine.deferred_misses == 0
+        assert machine.fast_misses > 0
+
+        reference_rate = len(records) / reference_s
+        packed_rate = len(records) / packed_s
+        ratio = packed_rate / reference_rate
+        ratios[family] = ratio
+        print(
+            f"\nstructural path [{family}]: reference {reference_rate:,.0f}/s, "
+            f"packed {packed_rate:,.0f}/s — {ratio:.2f}x "
+            f"(pf_evictions={packed_result.snapshot.pf_evictions}, "
+            f"deferred={machine.deferred_misses})"
+        )
+        for engine, rate, elapsed in (
+            ("reference", reference_rate, reference_s),
+            ("packed", packed_rate, packed_s),
+        ):
+            append_bench_entry(
+                BENCH_LOG,
+                {
+                    "bench": "structural_path",
+                    "family": family,
+                    "engine": engine,
+                    "accesses": len(records),
+                    "elapsed_s": round(elapsed, 4),
+                    "accesses_per_s": round(rate, 1),
+                    "packed_over_reference": round(ratio, 3),
+                },
+                repo_root=REPO_ROOT,
+            )
+
+    failing = {f: r for f, r in ratios.items() if r < min_ratio}
+    assert not failing, (
+        f"packed engine below the {min_ratio:.2f}x structural-path gate on: "
         + ", ".join(f"{f} ({r:.2f}x)" for f, r in failing.items())
     )

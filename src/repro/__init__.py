@@ -34,6 +34,7 @@ from repro.errors import (
     WorkloadError,
 )
 from repro.stats.compare import RunComparison, geometric_mean
+from repro.stats.goldens import check_corpus, golden_specs, record_corpus
 from repro.stats.snapshot import MachineSnapshot, collect
 from repro.system.config import (
     SystemConfig,
@@ -94,6 +95,10 @@ __all__ = [
     "sniff_format",
     # coherence validation
     "check_machine_invariants",
+    # golden-snapshot conformance corpus
+    "golden_specs",
+    "record_corpus",
+    "check_corpus",
     # statistics and energy
     "MachineSnapshot",
     "collect",

@@ -16,6 +16,12 @@ Commands
     run's headline statistics.
 ``trace info``
     Summarise a trace file (format, records, size, access mix).
+``golden record``
+    Run the canonical conformance grid and (re)write the golden-snapshot
+    corpus (``tests/golden/corpus.json`` by default).
+``golden check``
+    Re-run the grid on the chosen engine and verify every snapshot digest
+    against the committed corpus; exits non-zero on any mismatch.
 ``plans``
     List the named plans and how many runs each contains at the current
     settings.
@@ -32,6 +38,8 @@ Examples
     python -m repro trace record --plan micro --trace-dir .repro-traces
     python -m repro trace replay .repro-traces/<digest>.rpt2 --policy allarm
     python -m repro trace info .repro-traces/<digest>.rpt2
+    python -m repro golden record
+    python -m repro golden check --engine reference
     python -m repro plans
 """
 
@@ -242,6 +250,52 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_golden_record(args: argparse.Namespace) -> int:
+    from repro.stats.goldens import golden_specs, record_corpus, spec_key
+
+    specs = golden_specs()
+    print(
+        f"recording golden corpus: {len(specs)} runs "
+        f"(engine {args.engine or 'per-spec default'}) -> {args.path}"
+    )
+    corpus = record_corpus(args.path, engine=args.engine)
+    header = f"{'workload':<20} {'policy':<9} {'pf(kB)':>7}  digest"
+    print(header)
+    print("-" * len(header))
+    entries = corpus["entries"]
+    for spec in specs:
+        digest = entries[spec_key(spec)]["digest"]
+        print(
+            f"{spec.workload_name:<20} {spec.policy:<9} "
+            f"{spec.pf_size // 1024:>7}  {digest[:16]}…"
+        )
+    print(f"{len(specs)} golden digests written to {args.path}")
+    return 0
+
+
+def _cmd_golden_check(args: argparse.Namespace) -> int:
+    from repro.stats.goldens import check_corpus, golden_specs
+
+    specs = golden_specs()
+    print(
+        f"checking {len(specs)} golden runs against {args.path} "
+        f"(engine {args.engine or 'per-spec default'})"
+    )
+    problems = check_corpus(args.path, engine=args.engine)
+    if problems:
+        for problem in problems:
+            print(f"MISMATCH {problem}", file=sys.stderr)
+        print(
+            f"error: {len(problems)} golden conformance problem(s); if the "
+            f"behaviour change is intended, re-record with "
+            f"'python -m repro golden record'",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(specs)} golden digests match")
+    return 0
+
+
 def _cmd_plans(args: argparse.Namespace) -> int:
     settings = _settings_from_args(args)
     benchmarks = _parse_benchmarks(args.benchmarks)
@@ -377,6 +431,31 @@ def build_parser() -> argparse.ArgumentParser:
     info = trace_sub.add_parser("info", help="summarise a trace file")
     info.add_argument("path", help="trace file (text v1 or binary v2)")
     info.set_defaults(func=_cmd_trace_info)
+
+    golden = subparsers.add_parser(
+        "golden", help="record/check the golden-snapshot conformance corpus"
+    )
+    golden_sub = golden.add_subparsers(dest="golden_command", required=True)
+    for name, handler, blurb in (
+        ("record", _cmd_golden_record, "run the canonical grid and write the corpus"),
+        ("check", _cmd_golden_check, "verify snapshot digests against the corpus"),
+    ):
+        sub = golden_sub.add_parser(name, help=blurb)
+        sub.add_argument(
+            "--path",
+            default="tests/golden/corpus.json",
+            help="corpus file (default: tests/golden/corpus.json)",
+        )
+        sub.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default=None,
+            help=(
+                "simulation engine to run the grid on "
+                f"(default: {DEFAULT_ENGINE}; digests are engine-independent)"
+            ),
+        )
+        sub.set_defaults(func=handler)
 
     plans = subparsers.add_parser("plans", help="list named plans and sizes")
     _add_settings_arguments(plans)

@@ -32,10 +32,11 @@ import json
 import math
 import os
 import subprocess
-import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
+
+from repro.ioutil import atomic_write_json
 
 #: Version of the on-disk trajectory layout.
 BENCH_LOG_SCHEMA = 1
@@ -269,22 +270,7 @@ def append_bench_entry(
     entries.append(stamped)
     data["entries"] = entries[-MAX_ENTRIES:]
 
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(data, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return path
+    return atomic_write_json(path, data)
 
 
 def latest_entry(

@@ -24,6 +24,11 @@ violate no matter what the workload does:
   never exceeds capacity.  Both filter representations are understood:
   the reference per-set dicts and the packed flat arrays of
   :class:`~repro.core.packed_directory.PackedProbeFilter`.
+* **packed eviction bookkeeping** — on the packed engine, a freed or
+  victimised slot (cache or probe filter) keeps no residual LRU stamp
+  or MOESI code, stamps never exceed the monotonic counter, and PLRU
+  bit words stay inside their tree — the in-place eviction paths must
+  leave no recency residue that would bias a later victim choice.
 * **MSHR quiescence** — no miss-status register is outstanding while
   the machine is idle (misses are serviced atomically, so a dangling
   entry means a miss path leaked its slot).
@@ -251,6 +256,64 @@ def _walk_packed_filter_arrays(node, probe_filter, node_count: int) -> int:
     return count
 
 
+def _check_packed_store_bookkeeping(node, label: str, store) -> None:
+    """Shared walk for one packed tag/recency store (cache or filter).
+
+    *store* is anything with the packed layout contract: ``tags``,
+    ``stamps``, ``stamp``, ``plru_bits``, ``associativity`` and ``kind``
+    (plus ``states`` for caches).  The in-place eviction bookkeeping
+    must leave no residue: a freed or victimised slot that keeps its old
+    LRU stamp (or a cache slot its old MOESI code) would bias every
+    future replacement decision in that set — a divergence the
+    snapshot differ cannot see until a victim choice finally differs.
+    """
+    tags = store.tags
+    stamps = store.stamps
+    states = getattr(store, "states", None)
+    for slot in range(len(tags)):
+        if tags[slot] < 0:
+            if stamps[slot] != 0:
+                raise ProtocolError(
+                    f"node {node.node_id} {label}: free slot {slot} keeps "
+                    f"residual LRU stamp {stamps[slot]}"
+                )
+            if states is not None and states[slot] != 0:
+                raise ProtocolError(
+                    f"node {node.node_id} {label}: free slot {slot} keeps "
+                    f"residual state code {states[slot]}"
+                )
+        elif stamps[slot] > store.stamp:
+            raise ProtocolError(
+                f"node {node.node_id} {label}: slot {slot} stamp "
+                f"{stamps[slot]} exceeds the monotonic counter {store.stamp}"
+            )
+    assoc = store.associativity
+    for set_index, bits in enumerate(store.plru_bits):
+        if not 0 <= bits < (1 << assoc):
+            raise ProtocolError(
+                f"node {node.node_id} {label}: set {set_index} PLRU word "
+                f"{bits:#x} outside the {assoc}-way tree"
+            )
+
+
+def check_packed_eviction_bookkeeping(machine) -> None:
+    """Assert packed stores carry no stale recency/state after evictions.
+
+    Applies to the packed engine only (reference stores drop per-line
+    objects wholesale, so they cannot leak this way); walks every
+    packed cache and packed probe filter.  Reference machines pass
+    vacuously.
+    """
+    for node in machine.nodes:
+        caches = node.caches
+        for cache in (caches.l1i, caches.l1d, caches.l2):
+            if hasattr(cache, "stamps") and hasattr(cache, "tags"):
+                _check_packed_store_bookkeeping(node, cache.name, cache)
+        probe_filter = node.probe_filter
+        if not hasattr(probe_filter, "_sets") and hasattr(probe_filter, "stamps"):
+            _check_packed_store_bookkeeping(node, "probe filter", probe_filter)
+
+
 def check_mshr_quiescence(machine) -> None:
     """Assert no MSHR entry is outstanding while the machine is idle.
 
@@ -278,6 +341,7 @@ ALL_CHECKS = (
     check_inclusion,
     check_directory_tracking,
     check_probe_filter_structure,
+    check_packed_eviction_bookkeeping,
     check_mshr_quiescence,
 )
 

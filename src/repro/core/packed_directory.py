@@ -28,15 +28,21 @@ speed.  This module packs the miss path too:
   unchanged reference :class:`~repro.core.directory.DirectoryController`
   drives a packed filter on the structural slow path.
 
-* :class:`PackedDirectoryFastPath` services the common miss flavours —
-  probe-filter hits (reads and writes, including invalidation fan-out),
-  ALLARM no-allocate local misses, and allocating misses that find a
-  free probe-filter way — entirely in the packed representation, with
-  per-route latency/traffic constants replacing per-message
-  ``Message``/``Transaction`` object churn.  Only *structural* events
-  defer to the reference machinery: probe-filter evictions (with their
-  invalidation fan-out), L2 eviction notifications, NUMA remaps and
-  page-table faults.
+* :class:`PackedDirectoryFastPath` services every steady-state miss
+  flavour — probe-filter hits (reads and writes, including invalidation
+  fan-out), ALLARM no-allocate local misses, allocating misses into a
+  free way **and** allocating misses that evict a probe-filter victim
+  (victim selection, holder-word walk, per-holder invalidation/ack
+  accounting, dirty writebacks) — entirely in the packed
+  representation, with per-route latency/traffic constants replacing
+  per-message ``Message``/``Transaction`` object churn.  L2 eviction
+  *notifications* (both ``owned`` and ``dirty`` modes) are likewise
+  packed via :meth:`PackedDirectoryFastPath.handle_eviction`.  The
+  reference machinery remains reachable only through the
+  ``REPRO_PACKED_DEFER`` debug knob (see
+  :class:`~repro.system.fastcore.PackedMachine`), which forces chosen
+  structural events back onto the shared slow path for differential
+  testing.
 
 **Bit-identity is the contract**: every counter the snapshot layer reads
 (:class:`~repro.core.directory.DirectoryStats`, probe-filter stats,
@@ -60,6 +66,8 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.cache.packed import (
     CODE_AFTER_REMOTE_READ,
+    CODE_IS_DIRTY,
+    CODE_IS_OWNER,
     STATE_EXCLUSIVE,
     STATE_INVALID,
     STATE_MODIFIED,
@@ -94,6 +102,9 @@ _ACK = MessageType.ACK.value
 _DATA_MEM = MessageType.DATA_FROM_MEMORY.value
 _DATA_OWNER = MessageType.DATA_FROM_OWNER.value
 _WB_DATA = MessageType.WRITEBACK_DATA.value
+_WB_ACK = MessageType.WRITEBACK_ACK.value
+_PUT_S = MessageType.PUT_SHARED.value
+_PUT_E = MessageType.PUT_EXCLUSIVE.value
 _LOCAL_PROBE = MessageType.LOCAL_STATE_PROBE.value
 _LOCAL_RESP = MessageType.LOCAL_STATE_RESPONSE.value
 
@@ -311,6 +322,57 @@ class PackedProbeFilter:
         self.allocations += 1
         self.writes += 1
 
+    def allocate_evict(
+        self, line_address: int, owner: int, sharer_mask: int
+    ) -> Tuple[int, int]:
+        """Install an entry into a full set, evicting the policy's victim.
+
+        Fast-path sibling of :meth:`allocate_fast` for the no-free-way
+        case: the caller has already probed for residency (absent) and a
+        free way (none), so a victim always exists.  Returns
+        ``(victim_line_address, victim_holder_mask)`` — the holder mask
+        merges the victim's owner bit into its sharer word — so the
+        caller can run the invalidation fan-out without a view being
+        built.  Counter deltas (one eviction, ``holder_count`` eviction
+        invalidations, the extra victim read-out, one allocation, one
+        write) match :meth:`allocate`'s victim branch exactly.
+        """
+        assoc = self.associativity
+        set_index = (line_address >> self.line_shift) & self.set_mask
+        slot = set_index * assoc + self.victim_way(set_index)
+        victim_line = self.tags[slot]
+        victim_owner = self.owners[slot]
+        holder_mask = self.sharer_bits[slot]
+        if victim_owner >= 0:
+            holder_mask |= 1 << victim_owner
+        self._reset(slot)
+        self.evictions += 1
+        self.eviction_invalidations += bin(holder_mask).count("1")
+        # An eviction reads out the victim's tag+state and then writes
+        # the replacement: count both array accesses for energy.
+        self.reads += 1
+        self.tags[slot] = line_address
+        self.owners[slot] = owner
+        self.sharer_bits[slot] = sharer_mask
+        self.touch(slot)
+        self.allocations += 1
+        self.writes += 1
+        return victim_line, holder_mask
+
+    def deallocate_fast(self, slot: int) -> None:
+        """Free *slot* (the packed form of :meth:`deallocate`).
+
+        The caller has already located the slot and read out whatever it
+        needed from the entry; counter deltas (one deallocation, one
+        write) match the reference exactly.
+        """
+        self.tags[slot] = -1
+        self.owners[slot] = -1
+        self.sharer_bits[slot] = 0
+        self._reset(slot)
+        self.deallocations += 1
+        self.writes += 1
+
     # ------------------------------------------------------------------
     # Reference-compatible API (drives the structural slow path)
     # ------------------------------------------------------------------
@@ -456,10 +518,11 @@ class PackedDirectoryFastPath:
     float is bit-identical to recomputing it).
 
     :meth:`service` returns ``(transaction_latency_ns, fill_state_code)``
-    for a request it can service; the caller (the packed machine) checks
-    the single structural precondition — a probe-filter allocation into a
-    full set — *before* calling, so every call completes without
-    deferring and without having touched state on an abandoned path.
+    and handles every miss flavour itself, including allocations into a
+    full probe-filter set (victim eviction with its invalidation
+    fan-out); :meth:`handle_eviction` is the packed form of
+    ``DirectoryController.handle_cache_eviction`` for L2 eviction
+    notifications.  Neither ever defers.
     """
 
     __slots__ = (
@@ -622,6 +685,87 @@ class PackedDirectoryFastPath:
         return self.sched_ns + latency
 
     # ------------------------------------------------------------------
+    # Structural events (mirror the reference eviction machinery)
+    # ------------------------------------------------------------------
+    def _evict_victim(self, line_address: int, holder_mask: int) -> None:
+        """Invalidate an evicted probe-filter victim everywhere it is cached.
+
+        Packed form of ``DirectoryController._evict_victim``: each holder
+        (ascending node order — the low-bit walk equals
+        ``sorted(victim.holders)``) receives an invalidation and responds
+        with an ack; dirty copies are written back to memory.  Background
+        traffic: the message latencies never reach any critical path,
+        but every counter (eviction messages, invalidations, writebacks,
+        network and DRAM stats) lands exactly as the reference message
+        loop would have left it.
+        """
+        home = self.node_id
+        dstats = self.dstats
+        hierarchies = self.hierarchies
+        mask = holder_mask
+        while mask:
+            low = mask & -mask
+            holder = low.bit_length() - 1
+            mask ^= low
+            self._send_ctl(_INV, home, holder)
+            self._send_ctl(_ACK, holder, home)
+            dstats.eviction_messages += 2
+            dstats.invalidations_sent += 1
+            prior = hierarchies[holder].handle_invalidate(line_address)
+            if prior is not None and prior.is_dirty:
+                self._send_data(_WB_DATA, holder, home)
+                dstats.eviction_messages += 1
+                dstats.eviction_writebacks += 1
+                self.mem_writeback(line_address)
+
+    def handle_eviction(
+        self, evicting_node: int, line_address: int, state_code: int
+    ) -> None:
+        """Handle an L2 eviction notice for a line homed at this directory.
+
+        Packed form of ``DirectoryController.handle_cache_eviction``,
+        covering both notification modes: dirty lines send writeback
+        data, clean owned lines a PutE, plain sharers a PutS; the home
+        acks, dirty data reaches DRAM, and the probe-filter entry is
+        trimmed in place (deallocated once the last holder leaves).
+        Untracked lines (ALLARM local data) write back locally with no
+        coherence traffic.
+        """
+        self.dstats.cache_eviction_notices += 1
+        pf = self.pf
+        slot = pf.find_slot(line_address)  # peek: stats/recency untouched
+        dirty = CODE_IS_DIRTY[state_code]
+        if slot < 0:
+            # An untracked line: only the home node's local core can hold
+            # one, so the writeback (if any) is entirely local.
+            if dirty:
+                self.mem_writeback(line_address)
+                self.dstats.untracked_local_writebacks += 1
+            return
+
+        home = self.node_id
+        if dirty:
+            self._send_data(_WB_DATA, evicting_node, home)
+        elif CODE_IS_OWNER[state_code]:
+            self._send_ctl(_PUT_E, evicting_node, home)
+        else:
+            self._send_ctl(_PUT_S, evicting_node, home)
+        self._send_ctl(_WB_ACK, home, evicting_node)
+        if dirty:
+            self.mem_writeback(line_address)
+
+        owner = pf.owners[slot]
+        if owner == evicting_node:
+            pf.owners[slot] = owner = -1
+        sharer_mask = pf.sharer_bits[slot] & ~(1 << evicting_node)
+        pf.sharer_bits[slot] = sharer_mask
+        holders = sharer_mask | (1 << owner) if owner >= 0 else sharer_mask
+        if holders:
+            pf.writes += 1  # probe_filter.update(entry)
+        else:
+            pf.deallocate_fast(slot)
+
+    # ------------------------------------------------------------------
     # Request servicing (mirrors DirectoryController.service_request)
     # ------------------------------------------------------------------
     def service(
@@ -630,8 +774,10 @@ class PackedDirectoryFastPath:
         """Service one L2 miss/upgrade; return ``(latency_ns, fill_code)``.
 
         *slot* is the probe-filter slot the caller already probed
-        (``-1`` = miss); the caller guarantees a miss that allocates has
-        a free way, so this method never defers.
+        (``-1`` = miss).  A miss that allocates into a full set evicts
+        the replacement policy's victim in place, with the same
+        invalidation fan-out, writebacks and counters the reference
+        ``_evict_victim`` produces; this method never defers.
         """
         home = self.node_id
         dstats = self.dstats
@@ -817,7 +963,8 @@ class PackedDirectoryFastPath:
                 dstats.local_probes_found_line += 1
 
         # Work out who will hold the line once the request completes, then
-        # allocate the entry (the caller guaranteed a free way).
+        # allocate the entry (evicting the policy's victim when the set
+        # is full, exactly as the reference allocate/_evict_victim pair).
         if local_code == STATE_INVALID or requester == home:
             owner, sharer_mask = requester, 0
         elif is_write:
@@ -829,7 +976,14 @@ class PackedDirectoryFastPath:
             owner, sharer_mask = home, 1 << requester
         else:
             owner, sharer_mask = -1, (1 << home) | (1 << requester)
-        self.pf.allocate_fast(line_address, owner, sharer_mask)
+        pf = self.pf
+        if pf.has_free_way(line_address):
+            pf.allocate_fast(line_address, owner, sharer_mask)
+        else:
+            victim_line, victim_holders = pf.allocate_evict(
+                line_address, owner, sharer_mask
+            )
+            self._evict_victim(victim_line, victim_holders)
 
         local_supplies = local_code != STATE_INVALID and requester != home
         if local_supplies:

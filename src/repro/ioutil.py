@@ -1,0 +1,40 @@
+"""Small shared filesystem helpers.
+
+One home for the atomic-JSON-write pattern the persisted artifacts
+(benchmark trajectories, the golden-snapshot corpus) rely on: write to a
+same-directory temp file, then ``os.replace`` so readers never observe a
+half-written document and a crash leaves the previous version intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_json(path: Union[str, Path], data: object) -> Path:
+    """Atomically write *data* as pretty sorted JSON (with newline) to *path*.
+
+    Parent directories are created as needed.  On any failure the temp
+    file is removed and the previous file (if any) is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

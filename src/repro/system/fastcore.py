@@ -9,16 +9,20 @@ Two engines can drive the paper's evaluation:
   every node's sparse directory for the flat-array
   :class:`~repro.core.packed_directory.PackedProbeFilter`, and services
   both the hit-dominated common case (index arithmetic inlined straight
-  into :meth:`PackedMachine.perform_access`) and the common miss
-  flavours (probe-filter hits, ALLARM no-allocate local misses,
-  allocations into a free way — see
-  :class:`~repro.core.packed_directory.PackedDirectoryFastPath`) without
-  leaving the packed representation.  Only *structural* events fall
-  through to the *shared* reference machinery (`Machine._service_miss`,
-  the directory controller, the network): probe-filter evictions with
-  their invalidation fan-out, L2 eviction notifications, NUMA remaps
-  and page-table faults — so the rare paths have exactly one
-  implementation.
+  into :meth:`PackedMachine.perform_access`) and *every* steady-state
+  miss flavour — probe-filter hits, ALLARM no-allocate local misses,
+  allocations into a free way, allocations that evict a probe-filter
+  victim (invalidation fan-out included) and L2 eviction notifications
+  (see :class:`~repro.core.packed_directory.PackedDirectoryFastPath`)
+  — without leaving the packed representation.  Cold translations go
+  straight to the allocator's page-table fill (no redundant memo
+  re-probe) and are counted in ``translation_fills``.  The shared
+  reference machinery (`Machine._service_miss`, the directory
+  controller, the network) remains reachable only through the
+  ``REPRO_PACKED_DEFER`` debug knob, which forces chosen structural
+  events back onto the slow path so differential suites can exercise
+  both implementations; each forced deferral is counted per cause in
+  ``deferred_miss_causes``.
 
 The two engines must produce **bit-identical**
 :class:`~repro.stats.snapshot.MachineSnapshot`\\ s for any config and
@@ -31,7 +35,7 @@ workload family.  ``packed`` is the default engine; set
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Dict, FrozenSet, Iterable, Optional, Union
 
 from repro.cache.packed import (
     ACCESS_MISS,
@@ -56,6 +60,39 @@ ENGINES = ("reference", "packed")
 #: The engine used when none is requested (verified bit-identical to the
 #: reference engine; see docs/performance.md).
 DEFAULT_ENGINE = "packed"
+
+#: Structural events the packed engine can be forced to defer back onto
+#: the shared reference machinery (the ``REPRO_PACKED_DEFER`` causes).
+#: Nothing defers by default; the knob exists so differential suites can
+#: keep exercising the reference implementations and the per-cause
+#: deferral accounting.
+STRUCTURAL_DEFER_CAUSES = ("pf_eviction", "l2_notification")
+
+
+def resolve_structural_defer(
+    value: Union[str, Iterable[str], None],
+) -> FrozenSet[str]:
+    """Normalise a forced-deferral request into a set of causes.
+
+    ``None`` reads ``$REPRO_PACKED_DEFER``; strings are comma-separated
+    cause lists; ``"all"`` selects every cause.  Unknown cause names are
+    a :class:`ConfigurationError` (a typo must not silently run fast).
+    """
+    if value is None:
+        value = os.environ.get("REPRO_PACKED_DEFER", "")
+    if isinstance(value, str):
+        names = [name.strip() for name in value.split(",") if name.strip()]
+    else:
+        names = list(value)
+    if "all" in names:
+        return frozenset(STRUCTURAL_DEFER_CAUSES)
+    unknown = set(names) - set(STRUCTURAL_DEFER_CAUSES)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown structural deferral cause(s) {sorted(unknown)}; "
+            f"expected a subset of {STRUCTURAL_DEFER_CAUSES} or 'all'"
+        )
+    return frozenset(names)
 
 
 def resolve_engine(engine: Optional[str]) -> str:
@@ -94,7 +131,11 @@ class PackedMachine(Machine):
     #: Eviction-notification modes, coded for the miss fast path.
     _EVICT_MODES = {"none": 0, "owned": 1, "dirty": 2}
 
-    def __init__(self, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        structural_defer: Union[str, Iterable[str], None] = None,
+    ) -> None:
         super().__init__(config)
         # Hot-path bindings: one list index replaces the node -> caches ->
         # l1 attribute chain, and the line shift/mask pair replaces the
@@ -114,18 +155,26 @@ class PackedMachine(Machine):
         # method's core bounds check (machine-built allocators map every
         # in-range core to a node).
         self._translation_memo = self.allocator._translation_cache
+        self._translate_fill = self.allocator._translate_slow
         self._page_size = config.os.page_size
         # Miss fast path: one packed servicer per home directory, sharing
         # a lazily filled (src, dst) -> delivery-constants table.  The
         # counters below split misses between the packed path and the
-        # reference structural path (probe-filter evictions etc.).
+        # (forced-deferral-only) reference structural path; a miss that
+        # defers for several structural reasons counts once per cause in
+        # the dict and once in the total.
         routes: dict = {}
         self._fast_dirs = [
             PackedDirectoryFastPath(self, node, routes) for node in self.nodes
         ]
         self._evict_mode = self._EVICT_MODES[config.directory.eviction_notification]
+        self._structural_defer = resolve_structural_defer(structural_defer)
         self.fast_misses = 0
         self.deferred_misses = 0
+        self.deferred_miss_causes: Dict[str, int] = {
+            cause: 0 for cause in STRUCTURAL_DEFER_CAUSES
+        }
+        self.translation_fills = 0
         if config.core.replacement == "lru":
             # LRU (the Table I default) gets a branch-free specialisation;
             # the instance attribute shadows the generic method below.
@@ -154,7 +203,20 @@ class PackedMachine(Machine):
                 f"core {core} out of range for a {len(nodes)}-core machine"
             )
         node = nodes[core]
-        paddr = self._translate(process_id, core, vaddr)
+        page_size = self._page_size
+        vpage = vaddr // page_size
+        entry = self._translation_memo.get((process_id, vpage))
+        if entry is not None:
+            frame_base, mapping, table_stats = entry
+            table_stats.lookups += 1
+            mapping.touches += 1
+            paddr = frame_base + (vaddr - vpage * page_size)
+        else:
+            # Cold (or next-touch-pending) translation: fill the page
+            # table directly, skipping the memo re-probe inside
+            # NumaAllocator.translate that is known to miss.
+            self.translation_fills += 1
+            paddr = self._translate_fill(process_id, core, vaddr, vpage)
         line_paddr = paddr & self._line_mask
         node.clock.memory_accesses += 1
 
@@ -209,7 +271,8 @@ class PackedMachine(Machine):
             mapping.touches += 1
             paddr = frame_base + (vaddr - vpage * page_size)
         else:
-            paddr = self._translate(process_id, core, vaddr)
+            self.translation_fills += 1
+            paddr = self._translate_fill(process_id, core, vaddr, vpage)
         line_paddr = paddr & self._line_mask
         self._clocks[core].memory_accesses += 1
 
@@ -250,25 +313,32 @@ class PackedMachine(Machine):
         counters, same replacement and protocol decisions, same latency
         floats — but serviced through
         :class:`~repro.core.packed_directory.PackedDirectoryFastPath`
-        with no ``Transaction``/``Message`` object churn.  Structural
-        events keep exactly one implementation by deferring to the
-        reference machinery: a probe-filter allocation into a full set
-        (eviction + invalidation fan-out) falls back to the inherited
-        slow path wholesale, and L2 eviction *notifications* are handed
-        to the reference ``DirectoryController.handle_cache_eviction``.
+        with no ``Transaction``/``Message`` object churn.  Every
+        structural event is packed too: probe-filter evictions run their
+        invalidation fan-out in :meth:`PackedDirectoryFastPath._miss`,
+        and L2 eviction notifications go through
+        :meth:`PackedDirectoryFastPath.handle_eviction`.  The shared
+        reference machinery runs only when ``REPRO_PACKED_DEFER`` (or
+        the ``structural_defer`` constructor argument) forces a cause
+        back onto it; each forced deferral counts once per cause in
+        ``deferred_miss_causes`` and once in ``deferred_misses``.
         """
         fast = self._fast_dirs[line_paddr // self._bytes_per_node]
         pf = fast.pf
         slot = pf.find_slot(line_paddr)
+        forced = self._structural_defer
         if (
-            slot < 0
+            forced
+            and "pf_eviction" in forced
+            and slot < 0
             and not pf.has_free_way(line_paddr)
             and fast.policy.should_allocate(core, fast.node_id, line_paddr)
         ):
-            # Structural event: the allocation would evict a probe-filter
+            # Forced deferral: the allocation would evict a probe-filter
             # entry.  Nothing has been mutated yet — run the reference
-            # path end to end.
-            self.deferred_misses += 1
+            # path end to end (it also covers any L2 notification the
+            # fill produces, so only this cause is counted).
+            self._count_deferral("pf_eviction")
             return Machine._service_miss(
                 self, node, core, line_paddr, is_write, is_instruction, needs_upgrade
             )
@@ -311,13 +381,19 @@ class PackedMachine(Machine):
                 else:
                     notify = False
                 if notify:
-                    # Eviction notification: reference machinery (messages,
-                    # probe-filter update/deallocation, writeback).
-                    self.nodes[
-                        victim_tag // self._bytes_per_node
-                    ].directory.handle_cache_eviction(
-                        core, victim_tag, CODE_TO_STATE[victim_code]
-                    )
+                    if forced and "l2_notification" in forced:
+                        # Forced deferral: reference machinery (messages,
+                        # probe-filter update/deallocation, writeback).
+                        self._count_deferral("l2_notification")
+                        self.nodes[
+                            victim_tag // self._bytes_per_node
+                        ].directory.handle_cache_eviction(
+                            core, victim_tag, CODE_TO_STATE[victim_code]
+                        )
+                    else:
+                        self._fast_dirs[
+                            victim_tag // self._bytes_per_node
+                        ].handle_eviction(core, victim_tag, victim_code)
                 elif CODE_IS_DIRTY[victim_code]:
                     # Even without a directory notification, dirty data
                     # must reach memory.
@@ -330,6 +406,36 @@ class PackedMachine(Machine):
 
         mshrs.release(line_paddr)
         return self._cache_latency + latency
+
+    # ------------------------------------------------------------------
+    # Miss-path accounting
+    # ------------------------------------------------------------------
+    def _count_deferral(self, cause: str) -> None:
+        """Record one miss deferring one structural *cause* to reference.
+
+        A miss that defers for several causes passes through here once
+        per cause, so ``deferred_miss_causes`` counts causes while
+        ``deferred_misses`` still counts misses (at most once each —
+        the wholesale ``pf_eviction`` fallback returns before any other
+        cause can fire, and the remaining causes are mutually exclusive
+        within one miss).
+        """
+        self.deferred_misses += 1
+        self.deferred_miss_causes[cause] += 1
+
+    def miss_path_summary(self) -> Dict[str, object]:
+        """Counters describing how misses were serviced (for reports/tests).
+
+        ``deferred_by_cause`` is the per-cause breakdown of structural
+        deferrals; under default configuration (no forced deferral) every
+        value — and ``deferred_misses`` itself — must be zero.
+        """
+        return {
+            "fast_misses": self.fast_misses,
+            "deferred_misses": self.deferred_misses,
+            "deferred_by_cause": dict(self.deferred_miss_causes),
+            "translation_fills": self.translation_fills,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,9 +33,10 @@ from repro.system.config import (
     NetworkConfig,
     SystemConfig,
 )
-from repro.system.fastcore import build_machine
+from repro.system.fastcore import PackedMachine, build_machine
 from repro.system.simulator import Simulator
 from repro.trace.record import AccessType
+from repro.workloads.registry import MICROBENCH_FAMILIES
 
 CORES = 4
 PAGES = 6
@@ -53,12 +54,13 @@ def tiny_config(
     eviction_notification: str = "dirty",
     replacement: str = "lru",
     pf_coverage: int = 2048,
+    l2_size: int = 2048,
 ) -> SystemConfig:
     """A 4-node machine small enough that every structure thrashes."""
     return SystemConfig(
         core_count=CORES,
         core=CoreConfig(
-            l1i_size=1024, l1d_size=1024, l2_size=2048, replacement=replacement
+            l1i_size=1024, l1d_size=1024, l2_size=l2_size, replacement=replacement
         ),
         directory=DirectoryConfig(
             probe_filter_coverage=pf_coverage,
@@ -78,14 +80,23 @@ def process_of(layout: str, core: int) -> int:
     return core
 
 
-def run_lockstep(config: SystemConfig, stream, layout: str, cadence: int) -> None:
+def run_lockstep(
+    config: SystemConfig, stream, layout: str, cadence: int, structural_defer=None
+):
     """Drive both engines access-for-access; diff snapshots every *cadence*.
 
     Replays the stream exactly the way ``Simulator.run`` does (same clock
     and instruction accounting), so the sampled snapshots are the ones a
-    real run would have produced had it stopped there.
+    real run would have produced had it stopped there.  Returns the
+    packed machine so callers can pin its miss-path counters.
+    *structural_defer* pins the packed machine's forced-deferral set;
+    pass ``()`` for tests whose counters assume the default fast path
+    even when ``REPRO_PACKED_DEFER`` is set in the environment.
     """
-    machines = [build_machine(config, "reference"), build_machine(config, "packed")]
+    machines = [
+        build_machine(config, "reference"),
+        PackedMachine(config, structural_defer=structural_defer),
+    ]
     work_ns = config.core.cpu_work_per_access_ns
     for step, (core, page, line, kind) in enumerate(stream, start=1):
         vaddr = BASE_VADDR + page * 4096 + line * 64
@@ -106,6 +117,7 @@ def run_lockstep(config: SystemConfig, stream, layout: str, cadence: int) -> Non
                 f"engines diverged at step {step}/{len(stream)} "
                 f"(layout {layout}): {diffs}"
             )
+    return machines[1]
 
 
 access_strategy = st.tuples(
@@ -149,9 +161,102 @@ class TestLockstepFuzz:
     @settings(max_examples=8, deadline=None)
     @given(stream=stream_strategy, cadence=cadence_strategy, layout=layout_strategy)
     def test_thrashing_probe_filter(self, stream, cadence, layout):
-        # The smallest legal filter maximises eviction pressure, forcing
-        # the packed engine onto its structural-deferral path constantly.
-        run_lockstep(tiny_config("allarm", pf_coverage=1024), stream, layout, cadence)
+        # The smallest legal filter maximises eviction pressure; since
+        # PR 5 the eviction fan-out is packed, so even here nothing may
+        # leave the fast path.
+        packed = run_lockstep(
+            tiny_config("allarm", pf_coverage=1024),
+            stream,
+            layout,
+            cadence,
+            structural_defer=(),
+        )
+        assert packed.deferred_misses == 0
+
+    @settings(max_examples=6, deadline=None)
+    @given(stream=stream_strategy, cadence=cadence_strategy, layout=layout_strategy)
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    def test_tiny_pf_tiny_l2_thrash(self, policy, stream, cadence, layout):
+        # Starve the probe filter AND the L2 at once: probe-filter
+        # evictions (fan-out) and L2 evictions (notifications) interleave
+        # on nearly every miss — the structural grid PR 4 always
+        # deferred.  Bit-identity must hold with zero deferrals.
+        packed = run_lockstep(
+            tiny_config(policy, pf_coverage=1024, l2_size=1024),
+            stream,
+            layout,
+            cadence,
+            structural_defer=(),
+        )
+        assert packed.deferred_misses == 0
+        assert packed.miss_path_summary()["deferred_by_cause"] == {
+            "pf_eviction": 0,
+            "l2_notification": 0,
+        }
+
+
+class TestStructuralCrossProduct:
+    """Eviction-notification × replacement grid, pinned to the fast path.
+
+    Every cell forces probe-filter evictions (starved filter) and L2
+    eviction notifications (starved L2) under each replacement policy —
+    the cross product whose structural events previously always deferred
+    to the reference machinery.  A deterministic conflict-heavy stream
+    keeps the grid cheap while guaranteeing both event kinds fire.
+    """
+
+    def conflict_stream(self):
+        stream = []
+        for round_number in range(3):
+            for page in range(PAGES):
+                for core in range(CORES):
+                    kind = AccessType.WRITE if (core + page) % 2 else AccessType.READ
+                    stream.append((core, page, (core + round_number) % LINES_PER_PAGE, kind))
+        return stream
+
+    @pytest.mark.parametrize("replacement", ["lru", "plru", "random"])
+    @pytest.mark.parametrize("mode", ["none", "dirty", "owned"])
+    def test_mode_replacement_cell_runs_fast(self, mode, replacement):
+        config = tiny_config(
+            "allarm",
+            eviction_notification=mode,
+            replacement=replacement,
+            pf_coverage=1024,
+            l2_size=1024,
+        )
+        packed = run_lockstep(
+            config, self.conflict_stream(), "2p", cadence=16, structural_defer=()
+        )
+        assert packed.deferred_misses == 0
+        assert packed.fast_misses > 0
+        assert sum(n.probe_filter.evictions for n in packed.nodes) > 0
+        assert sum(n.caches.l2.evictions for n in packed.nodes) > 0
+        if mode != "none":
+            assert (
+                sum(n.directory.stats.cache_eviction_notices for n in packed.nodes)
+                > 0
+            )
+
+
+class TestMicroFamilyZeroDeferral:
+    """Acceptance gate: no registered micro family defers under defaults."""
+
+    @pytest.mark.parametrize("family", MICROBENCH_FAMILIES)
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    def test_family_never_defers(self, family, policy, monkeypatch):
+        # Default behaviour is the claim: neutralise any ambient
+        # REPRO_PACKED_DEFER before asserting zero deferrals.
+        monkeypatch.delenv("REPRO_PACKED_DEFER", raising=False)
+        spec = RunSpec(family, policy, settings=MISS_HEAVY)
+        simulator = Simulator(spec.config(), engine="packed")
+        simulator.run(spec.access_stream(), family)
+        machine = simulator.machine
+        assert machine.deferred_misses == 0
+        assert machine.miss_path_summary()["deferred_by_cause"] == {
+            "pf_eviction": 0,
+            "l2_notification": 0,
+        }
+        assert machine.fast_misses > 0
 
 
 #: Small but genuinely miss-heavy settings for the family smoke.

@@ -334,7 +334,7 @@ class TestPackedMissPath:
             NetworkConfig,
             SystemConfig,
         )
-        from repro.system.fastcore import build_machine
+        from repro.system.fastcore import PackedMachine, build_machine
 
         config = SystemConfig(
             core_count=4,
@@ -347,7 +347,10 @@ class TestPackedMissPath:
             network=NetworkConfig(mesh_width=2, mesh_height=2),
             directory_policy=policy,
         )
-        packed = build_machine(config, "packed")
+        # The scenarios pin fast/deferred counters, so the packed machine
+        # is built with deferral explicitly off (immune to an ambient
+        # REPRO_PACKED_DEFER).
+        packed = PackedMachine(config, structural_defer=())
         reference = build_machine(config, "reference")
 
         def assert_identical():
@@ -388,9 +391,10 @@ class TestPackedMissPath:
         assert packed.nodes[0].probe_filter.occupancy() == 0
         assert_identical()
 
-    def test_pf_eviction_defers_to_reference_machinery(self):
+    def test_pf_eviction_runs_fast(self):
         # pf_coverage=1024 -> 4 sets of 4 ways; stride-256 lines all hash
-        # to set 0, so the fifth remote allocation must evict.
+        # to set 0, so the fifth remote allocation must evict — on the
+        # fast path, with the full invalidation fan-out packed.
         packed, reference, assert_identical = self.make_machines(pf_coverage=1024)
         base = self.BASE
         self.drive((packed, reference), [(0, base, False)])  # home the page
@@ -398,10 +402,68 @@ class TestPackedMissPath:
             (packed, reference),
             [(1, base + line * 256, False) for line in range(6)],
         )
-        assert packed.deferred_misses > 0
+        assert packed.deferred_misses == 0
         assert packed.fast_misses > 0
         assert packed.nodes[0].probe_filter.evictions > 0
+        assert packed.nodes[0].probe_filter.eviction_invalidations > 0
         assert_identical()
+
+    def test_forced_pf_eviction_deferral_is_counted_and_identical(self):
+        from repro.stats.compare import snapshot_diff
+        from repro.stats.snapshot import collect
+        from repro.system.fastcore import PackedMachine
+
+        packed, reference, _ = self.make_machines(pf_coverage=1024)
+        forced = PackedMachine(packed.config, structural_defer="pf_eviction")
+        base = self.BASE
+        accesses = [(0, base, False)]
+        accesses += [(1, base + line * 256, False) for line in range(6)]
+        self.drive((packed, reference, forced), accesses)
+        # The forced machine took the reference slow path for every
+        # eviction-causing allocation, counted it per cause, and still
+        # produced the bit-identical snapshot.
+        assert forced.deferred_misses > 0
+        assert forced.deferred_miss_causes["pf_eviction"] == forced.deferred_misses
+        assert forced.deferred_miss_causes["l2_notification"] == 0
+        assert packed.deferred_misses == 0
+        assert snapshot_diff(collect(packed), collect(forced)) == []
+        assert snapshot_diff(collect(reference), collect(forced)) == []
+
+    def test_forced_l2_notification_deferral_is_counted_and_identical(self):
+        from repro.stats.compare import snapshot_diff
+        from repro.stats.snapshot import collect
+        from repro.system.fastcore import PackedMachine
+
+        packed, reference, _ = self.make_machines(pf_coverage=8192, mode="owned")
+        forced = PackedMachine(packed.config, structural_defer=["l2_notification"])
+        base = self.BASE
+        # Dirty lines, then enough conflicting fills to evict them from
+        # the tiny L2: every notification crosses the deferral point.
+        accesses = [(0, base + line * 64, True) for line in range(8)]
+        accesses += [(0, base + 2048 + line * 64, False) for line in range(32)]
+        self.drive((packed, reference, forced), accesses)
+        assert forced.deferred_miss_causes["l2_notification"] > 0
+        assert forced.deferred_misses == forced.deferred_miss_causes["l2_notification"]
+        assert forced.miss_path_summary()["deferred_by_cause"] == (
+            forced.deferred_miss_causes
+        )
+        assert packed.deferred_misses == 0
+        assert snapshot_diff(collect(packed), collect(forced)) == []
+        assert snapshot_diff(collect(reference), collect(forced)) == []
+
+    def test_unknown_structural_defer_cause_rejected(self, monkeypatch):
+        from repro.system.fastcore import (
+            STRUCTURAL_DEFER_CAUSES,
+            resolve_structural_defer,
+        )
+
+        with pytest.raises(ConfigurationError, match="deferral cause"):
+            resolve_structural_defer("pf_evictoin")
+        assert resolve_structural_defer("all") == frozenset(STRUCTURAL_DEFER_CAUSES)
+        monkeypatch.delenv("REPRO_PACKED_DEFER", raising=False)
+        assert resolve_structural_defer(None) == frozenset()
+        monkeypatch.setenv("REPRO_PACKED_DEFER", "l2_notification")
+        assert resolve_structural_defer(None) == {"l2_notification"}
 
     def test_mshr_merge_on_inflight_miss(self):
         from repro.coherence.transactions import RequestKind
