@@ -1,11 +1,27 @@
-"""Setuptools shim.
+"""Setuptools metadata.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in offline environments whose setuptools lacks
-the ``wheel`` package needed for PEP 660 editable installs (pip then falls
-back to the legacy ``setup.py develop`` path).
+The core package is dependency-free on purpose: every engine has a
+pure-stdlib path, so the package installs in offline and minimal
+environments.  The ``fast`` extra (``pip install .[fast]``) pulls in
+numpy, which the batched engine (:mod:`repro.system.batchcore`) and the
+blocked-trace decoder use to vectorise the hit path — without it they
+degrade to the bit-identical pure-``array`` fallback (see
+``REPRO_BATCH_FORCE_FALLBACK`` in ``docs/performance.md``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.6.0",
+    description=(
+        "Reproduction of a probe-filter coherence study with reference, "
+        "packed and batched simulation engines"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    extras_require={
+        "fast": ["numpy"],
+    },
+)

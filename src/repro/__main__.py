@@ -187,10 +187,12 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     recorded = skipped = 0
     for _digest, spec in sorted(streams.items()):
         path = trace_dir / trace_file_name(spec)
+        if args.format == "blocked":
+            path = path.with_suffix(".rpt3")
         if path.exists() and not args.force:
             skipped += 1
             continue
-        count = record_spec_trace(spec, path)
+        count = record_spec_trace(spec, path, format=args.format)
         size = path.stat().st_size
         print(
             f"{spec.workload_name:<20} {count:>9} {size:>10} "
@@ -203,8 +205,9 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
 
 def _cmd_trace_replay(args: argparse.Namespace) -> int:
     from repro.system.config import experiment_config
+    from repro.system.fastcore import resolve_engine
     from repro.system.simulator import simulate
-    from repro.trace.io import read_trace
+    from repro.trace.io import read_trace, read_trace_chunks
 
     overrides = {}
     if args.scale is not None:
@@ -214,10 +217,16 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         nominal_probe_filter_coverage=args.pf_size,
         **overrides,
     )
+    # The batched engine consumes columnar chunks: v3 blocked traces
+    # stream their stored blocks with no per-record decode.
+    if resolve_engine(args.engine) == "batched":
+        accesses = read_trace_chunks(args.path)
+    else:
+        accesses = read_trace(args.path)
     started = time.perf_counter()
     result = simulate(
         config,
-        read_trace(args.path),
+        accesses,
         workload_name=args.label or args.path,
         max_accesses=args.max_accesses,
         engine=args.engine,
@@ -247,6 +256,13 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     print(f"  instructions   {info.instructions}")
     print(f"  cores          {info.core_count}")
     print(f"  processes      {info.process_count}")
+    blocks_label = "blocks" if info.format == "blocked" else "decode chunks"
+    print(f"  {blocks_label:<14} {info.blocks}")
+    print(f"  records/block  {info.records_per_block:.1f}")
+    print(f"  decode MB/s    {info.decode_mb_s:.1f}")
+    print("  streams")
+    for stream, count in info.stream_records.items():
+        print(f"    {stream:<12} {count}")
     return 0
 
 
@@ -391,6 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     record.add_argument(
         "--force", action="store_true", help="re-record streams already on disk"
+    )
+    record.add_argument(
+        "--format",
+        choices=("binary", "blocked"),
+        default="binary",
+        help=(
+            "trace format: v2 'binary' (compact, default) or v3 'blocked' "
+            "(columnar, fastest on the batched engine)"
+        ),
     )
     _add_settings_arguments(record)
     record.set_defaults(func=_cmd_trace_record)

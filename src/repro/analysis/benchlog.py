@@ -142,9 +142,14 @@ def validate_entry(entry: Dict[str, object]) -> None:
 
     An entry is a non-empty flat dict of string keys to JSON scalars
     (no nesting, no NaN/inf — those round-trip inconsistently), and may
-    not smuggle in the stamped ``timestamp``/``git_sha`` fields.  Raises
-    :class:`ValueError` naming the offending field, so a malformed bench
-    fails loudly instead of poisoning the persisted trajectory.
+    not smuggle in the stamped ``timestamp``/``git_sha`` fields.
+    Entries declaring ``bench: "batched"`` additionally carry the
+    batched-kernel shape fields: a positive integer ``chunk_records``
+    and a ``batched_residue_ratio`` in ``[0, 1]`` — the two numbers a
+    trajectory reader needs to interpret a batched throughput figure.
+    Raises :class:`ValueError` naming the offending field, so a
+    malformed bench fails loudly instead of poisoning the persisted
+    trajectory.
     """
     if not isinstance(entry, dict) or not entry:
         raise ValueError("bench entry must be a non-empty dict")
@@ -159,6 +164,21 @@ def validate_entry(entry: Dict[str, object]) -> None:
             )
         if isinstance(value, float) and not math.isfinite(value):
             raise ValueError(f"bench entry field {key!r} is not a finite number")
+    if entry.get("bench") == "batched":
+        chunk_records = entry.get("chunk_records")
+        if not isinstance(chunk_records, int) or isinstance(chunk_records, bool) \
+                or chunk_records <= 0:
+            raise ValueError(
+                "batched bench entry needs a positive integer 'chunk_records' "
+                f"(got {chunk_records!r})"
+            )
+        ratio = entry.get("batched_residue_ratio")
+        if not isinstance(ratio, (int, float)) or isinstance(ratio, bool) \
+                or not 0.0 <= float(ratio) <= 1.0:
+            raise ValueError(
+                "batched bench entry needs a 'batched_residue_ratio' in [0, 1] "
+                f"(got {ratio!r})"
+            )
 
 
 #: Sentinel distinguishing "file exists but is not JSON" from "no file".

@@ -83,9 +83,14 @@ def execute_run_spec(spec: RunSpec) -> MachineSnapshot:
     workers; the spec rebuilds its machine configuration and access stream
     deterministically on whatever process it lands.
     """
-    result = simulate(
-        spec.config(), spec.access_stream(), spec.workload_name, engine=spec.engine
-    )
+    if spec.engine == "batched":
+        # The batched engine replays columnar chunks; pre-chunked
+        # ingestion (v3 blocked traces stream stored blocks directly)
+        # keeps per-record Python work out of the replay loop.
+        accesses = spec.access_chunks()
+    else:
+        accesses = spec.access_stream()
+    result = simulate(spec.config(), accesses, spec.workload_name, engine=spec.engine)
     return result.snapshot
 
 
@@ -109,13 +114,21 @@ def trace_file_name(spec: RunSpec) -> str:
     return f"{spec.stream_digest()}-{code_fingerprint()[:12]}.rpt2"
 
 
-def record_spec_trace(spec: RunSpec, path: Union[str, Path]) -> int:
-    """Capture *spec*'s workload stream as a binary v2 trace at *path*.
+def record_spec_trace(
+    spec: RunSpec, path: Union[str, Path], format: str = "binary"
+) -> int:
+    """Capture *spec*'s workload stream as a trace file at *path*.
 
-    Returns the number of records written.  The write is atomic, so a
-    reader (or a concurrent recorder of the same stream) never sees a
-    partial trace.
+    *format* is ``"binary"`` (v2, compact — the default) or
+    ``"blocked"`` (v3 columnar, fastest to replay on the batched
+    engine).  Returns the number of records written.  The write is
+    atomic, so a reader (or a concurrent recorder of the same stream)
+    never sees a partial trace.
     """
+    if format == "blocked":
+        from repro.trace.binary import write_trace_v3
+
+        return write_trace_v3(path, spec.access_stream())
     return write_trace_v2(path, spec.access_stream())
 
 
@@ -317,10 +330,21 @@ class SweepExecutor:
     # Trace replay
     # ------------------------------------------------------------------
     def trace_path_for(self, spec: RunSpec) -> Optional[Path]:
-        """Where this spec's workload stream is (or would be) recorded."""
+        """Where this spec's workload stream is (or would be) recorded.
+
+        An existing blocked (v3, ``.rpt3``) recording wins — it replays
+        fastest, chunk-for-chunk, on the batched engine and decodes
+        transparently everywhere else.  Otherwise the compact v2 name is
+        returned, which doubles as the record target for streams not yet
+        captured.
+        """
         if self.trace_dir is None:
             return None
-        return self.trace_dir / trace_file_name(spec)
+        path = self.trace_dir / trace_file_name(spec)
+        blocked = path.with_suffix(".rpt3")
+        if blocked.exists():
+            return blocked
+        return path
 
     def _effective_spec(self, spec: RunSpec) -> RunSpec:
         """Return the spec to actually execute: as-is, or trace-replayed.

@@ -55,7 +55,7 @@ from repro.system.config import SystemConfig
 from repro.system.machine import Machine
 
 #: Engine names accepted everywhere an engine can be chosen.
-ENGINES = ("reference", "packed")
+ENGINES = ("reference", "packed", "batched")
 
 #: The engine used when none is requested (verified bit-identical to the
 #: reference engine; see docs/performance.md).
@@ -112,8 +112,14 @@ def resolve_engine(engine: Optional[str]) -> str:
 
 def build_machine(config: SystemConfig, engine: Optional[str] = None) -> Machine:
     """Build the machine implementation for *engine* (default: packed)."""
-    if resolve_engine(engine) == "packed":
+    engine = resolve_engine(engine)
+    if engine == "packed":
         return PackedMachine(config)
+    if engine == "batched":
+        # Imported lazily: batchcore subclasses PackedMachine from here.
+        from repro.system.batchcore import BatchedMachine
+
+        return BatchedMachine(config)
     return Machine(config)
 
 

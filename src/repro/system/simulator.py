@@ -85,6 +85,8 @@ class Simulator:
         """
         if self._finished:
             raise SimulationError("simulator instances are single-use; build a new one")
+        if self.engine == "batched":
+            return self._run_batched(accesses, workload_name, max_accesses)
 
         # Replay loop: every per-record attribute chain is hoisted into a
         # local so the loop body is dict-free.  This loop plus the
@@ -130,6 +132,44 @@ class Simulator:
             workload_name=workload_name,
             engine=self.engine,
         )
+
+    def _run_batched(
+        self,
+        accesses,
+        workload_name: str,
+        max_accesses: Optional[int],
+    ) -> SimulationResult:
+        """Chunk-aware replay for the batched engine.
+
+        *accesses* may be a plain record stream (packed into chunks on
+        the fly) or an already-chunked source — the workload chunk
+        emitters and the blocked trace decoder yield
+        :class:`~repro.system.batchcore.AccessChunk` blocks directly, so
+        no per-record Python work happens inside the timed replay.  A
+        ``max_accesses`` cap is honoured mid-chunk by truncation.
+        """
+        from repro.system.batchcore import iter_chunks
+
+        machine = self.machine
+        work_per_access = self.config.core.cpu_work_per_access_ns
+        count = 0
+        for chunk in iter_chunks(accesses, machine.chunk_records):
+            remaining = None if max_accesses is None else max_accesses - count
+            if remaining is not None and remaining <= 0:
+                break
+            count += machine.perform_chunk(
+                chunk, work_per_access, limit=remaining
+            )
+        self._finished = True
+        snapshot = collect(self.machine)
+        return SimulationResult(
+            config=self.config,
+            snapshot=snapshot,
+            accesses_simulated=count,
+            workload_name=workload_name,
+            engine=self.engine,
+        )
+
 
 def simulate(
     config: SystemConfig,

@@ -1,18 +1,25 @@
-"""Trace format: access records and file I/O (v1 text, v2 binary)."""
+"""Trace format: access records and file I/O (v1 text, v2 binary, v3 blocked)."""
 
 from repro.trace.binary import (
     TRACE_V2_MAGIC,
+    TRACE_V3_MAGIC,
     BinaryTraceWriter,
+    BlockedTraceWriter,
     TraceInfo,
     inspect_trace,
     read_trace_v2,
+    read_trace_v3,
+    read_trace_v3_chunks,
     write_trace_v2,
+    write_trace_v3,
 )
 from repro.trace.io import (
     FORMAT_BINARY,
+    FORMAT_BLOCKED,
     FORMAT_TEXT,
     count_records,
     read_trace,
+    read_trace_chunks,
     sniff_format,
     write_trace,
 )
@@ -22,15 +29,22 @@ __all__ = [
     "AccessRecord",
     "AccessType",
     "BinaryTraceWriter",
+    "BlockedTraceWriter",
     "FORMAT_BINARY",
+    "FORMAT_BLOCKED",
     "FORMAT_TEXT",
     "TRACE_V2_MAGIC",
+    "TRACE_V3_MAGIC",
     "TraceInfo",
     "count_records",
     "inspect_trace",
     "read_trace",
+    "read_trace_chunks",
     "read_trace_v2",
+    "read_trace_v3",
+    "read_trace_v3_chunks",
     "sniff_format",
     "write_trace",
     "write_trace_v2",
+    "write_trace_v3",
 ]

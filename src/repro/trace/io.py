@@ -1,6 +1,6 @@
 """Trace file reader and writer, with transparent format sniffing.
 
-Two on-disk formats exist:
+Three on-disk formats exist:
 
 * **v1 text** — one access per line, ``<process> <core> <R|W|I> <hex
   address>`` with ``#`` comment lines.  Deliberately simple so traces
@@ -9,11 +9,19 @@ Two on-disk formats exist:
   script.
 * **v2 binary** (:mod:`repro.trace.binary`) — packed, varint
   delta-encoded records, 5-8x smaller and more than twice as fast to
-  replay; the format the sweep engine records and replays.
+  replay than text; the most compact format, but inherently sequential
+  to decode.
+* **v3 blocked** (:mod:`repro.trace.binary`) — fixed-width columnar
+  blocks that decode into parallel arrays with no per-record work; the
+  format the batched engine replays at trace-file bandwidth.  Larger on
+  disk than v2, by design: it trades bytes for decode speed.
 
 :func:`read_trace` sniffs the file's leading bytes and dispatches, so
 every consumer — the simulator, the CLI, the sweep executor — handles
-both formats without caring which one it was given.
+all formats without caring which one it was given.  :func:`read_trace_chunks`
+is the columnar variant: it yields
+:class:`~repro.system.batchcore.AccessChunk` blocks (natively for v3,
+by packing for v1/v2) for the batched engine.
 """
 
 from __future__ import annotations
@@ -24,9 +32,13 @@ from typing import Iterable, Iterator, Union
 from repro.errors import WorkloadError
 from repro.trace.binary import (
     TRACE_V2_MAGIC,
+    TRACE_V3_MAGIC,
     read_trace_v2,
+    read_trace_v3,
+    read_trace_v3_chunks,
     stored_record_count,
     write_trace_v2,
+    write_trace_v3,
 )
 from repro.trace.record import AccessRecord
 
@@ -35,25 +47,33 @@ PathLike = Union[str, Path]
 #: Format labels returned by :func:`sniff_format`.
 FORMAT_TEXT = "text"
 FORMAT_BINARY = "binary"
+FORMAT_BLOCKED = "blocked"
+
+_MAGIC_LENGTH = max(len(TRACE_V2_MAGIC), len(TRACE_V3_MAGIC))
 
 
 def sniff_format(path: PathLike) -> str:
-    """Return ``"binary"`` or ``"text"`` for the trace file at *path*.
+    """Return ``"blocked"``, ``"binary"`` or ``"text"`` for *path*.
 
-    A file is binary exactly when it starts with the v2 magic; anything
-    else (including an empty file) is treated as v1 text, whose reader
-    reports malformed content with line numbers.
+    A file is v3 blocked or v2 binary exactly when it starts with the
+    corresponding magic; anything else (including an empty file) is
+    treated as v1 text, whose reader reports malformed content with line
+    numbers.
     """
     source = Path(path)
     if not source.exists():
         raise WorkloadError(f"trace file {source} does not exist")
     try:
         with source.open("rb") as handle:
-            prefix = handle.read(len(TRACE_V2_MAGIC))
+            prefix = handle.read(_MAGIC_LENGTH)
     except OSError as exc:
         # E.g. a directory or an unreadable file.
         raise WorkloadError(f"trace file {source} cannot be read: {exc}") from exc
-    return FORMAT_BINARY if prefix == TRACE_V2_MAGIC else FORMAT_TEXT
+    if prefix.startswith(TRACE_V3_MAGIC):
+        return FORMAT_BLOCKED
+    if prefix.startswith(TRACE_V2_MAGIC):
+        return FORMAT_BINARY
+    return FORMAT_TEXT
 
 
 def write_trace(
@@ -61,15 +81,18 @@ def write_trace(
 ) -> int:
     """Write *records* to *path*; return the number of records written.
 
-    *format* selects v1 ``"text"`` (the default, interoperable) or v2
-    ``"binary"`` (compact, fast to replay).
+    *format* selects v1 ``"text"`` (the default, interoperable), v2
+    ``"binary"`` (compact) or v3 ``"blocked"`` (columnar, fastest to
+    replay).
     """
     if format == FORMAT_BINARY:
         return write_trace_v2(path, records)
+    if format == FORMAT_BLOCKED:
+        return write_trace_v3(path, records)
     if format != FORMAT_TEXT:
         raise WorkloadError(
-            f"unknown trace format {format!r}; expected "
-            f"{FORMAT_TEXT!r} or {FORMAT_BINARY!r}"
+            f"unknown trace format {format!r}; expected {FORMAT_TEXT!r}, "
+            f"{FORMAT_BINARY!r} or {FORMAT_BLOCKED!r}"
         )
     count = 0
     target = Path(path)
@@ -83,10 +106,28 @@ def write_trace(
 
 
 def read_trace(path: PathLike) -> Iterator[AccessRecord]:
-    """Yield the records stored in the trace file at *path* (either format)."""
-    if sniff_format(path) == FORMAT_BINARY:
+    """Yield the records stored in the trace file at *path* (any format)."""
+    fmt = sniff_format(path)
+    if fmt == FORMAT_BLOCKED:
+        return read_trace_v3(path)
+    if fmt == FORMAT_BINARY:
         return read_trace_v2(path)
     return _read_trace_text(path)
+
+
+def read_trace_chunks(path: PathLike, chunk_size: int = 8192):
+    """Yield the trace at *path* as ``AccessChunk`` column blocks.
+
+    v3 blocked traces stream their stored blocks directly (no per-record
+    Python work; *chunk_size* is ignored — blocks keep their stored
+    size); v1/v2 traces are decoded sequentially and packed into chunks
+    of *chunk_size* records.
+    """
+    if sniff_format(path) == FORMAT_BLOCKED:
+        return read_trace_v3_chunks(path)
+    from repro.system.batchcore import chunk_records
+
+    return chunk_records(read_trace(path), chunk_size)
 
 
 def _read_trace_text(path: PathLike) -> Iterator[AccessRecord]:
@@ -110,11 +151,11 @@ def _read_trace_text(path: PathLike) -> Iterator[AccessRecord]:
 def count_records(path: PathLike) -> int:
     """Return the number of access records in a trace file.
 
-    Binary traces store their record count in the header, making this
+    v2 and v3 traces store their record count in the header, making this
     O(1); text traces (and binary traces whose writer never closed
     cleanly) fall back to a full scan.
     """
-    if sniff_format(path) == FORMAT_BINARY:
+    if sniff_format(path) in (FORMAT_BINARY, FORMAT_BLOCKED):
         stored = stored_record_count(path)
         if stored >= 0:
             return stored

@@ -247,6 +247,18 @@ class SyntheticWorkload:
             yield from self._init_phase()
         yield from self._compute_phase()
 
+    def generate_chunks(self, chunk_size: int = 8192):
+        """Yield the stream as columnar ``AccessChunk`` blocks.
+
+        The chunked emission path for the batched engine: identical
+        records in identical order to :meth:`generate`, packed into
+        struct-of-array blocks so the replay loop does no per-record
+        Python work.
+        """
+        from repro.system.batchcore import chunk_records
+
+        return chunk_records(self.generate(), chunk_size)
+
     def access_count_estimate(self) -> int:
         """Rough number of records :meth:`generate` will yield."""
         init = 0

@@ -1,0 +1,369 @@
+"""Residue-compaction and chunk-protocol tests for the batched engine.
+
+The batched kernel (:mod:`repro.system.batchcore`) vectorises the
+common case and replays everything else — the *residue* — through the
+inherited packed per-access path.  Its contract is the same as the
+packed engine's: bit-identical snapshots, now at chunk granularity.
+This suite attacks the seams of that contract directly:
+
+* same-set conflict storms *inside one chunk*, where residue accesses
+  displace lines the classification already blessed as hits;
+* misses placed exactly at chunk boundaries, across a spread of chunk
+  sizes including degenerate ones;
+* a ``max_accesses`` cap cutting a chunk mid-way;
+* the pure-``array`` fallback (``REPRO_BATCH_FORCE_FALLBACK``), the
+  non-LRU and non-dyadic bail-outs, and the residue-ratio accounting
+  the benches report.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import pytest
+
+from repro.analysis.plan import ExperimentSettings, RunSpec
+from repro.errors import ConfigurationError, SimulationError
+from repro.stats.compare import assert_snapshots_identical, snapshot_diff
+from repro.stats.snapshot import collect
+from repro.system.batchcore import (
+    DEFAULT_CHUNK_RECORDS,
+    AccessChunk,
+    BatchedMachine,
+    chunk_records,
+    iter_chunks,
+)
+from repro.system.config import (
+    CoreConfig,
+    DirectoryConfig,
+    NetworkConfig,
+    SystemConfig,
+)
+from repro.system.fastcore import ENGINES, PackedMachine, build_machine, resolve_engine
+from repro.system.simulator import Simulator
+from repro.trace.record import AccessRecord, AccessType
+
+#: Vector-path assertions need numpy (the ``[fast]`` extra); everything
+#: else in this suite runs — and must pass — on the stdlib fallback.
+requires_numpy = pytest.mark.skipif(
+    importlib.util.find_spec("numpy") is None,
+    reason="vector path requires numpy (install the [fast] extra)",
+)
+
+CORES = 4
+BASE_VADDR = 0x4000_0000
+TINY = ExperimentSettings(scale=16, accesses=2000, multiprocess_accesses=1000, seed=7)
+
+
+def tiny_config(policy: str = "baseline", replacement: str = "lru") -> SystemConfig:
+    """A 4-node machine small enough that conflict streams thrash it."""
+    return SystemConfig(
+        core_count=CORES,
+        core=CoreConfig(
+            l1i_size=1024, l1d_size=1024, l2_size=2048, replacement=replacement
+        ),
+        directory=DirectoryConfig(
+            probe_filter_coverage=2048, memory_bytes=64 * 1024 * 1024
+        ),
+        network=NetworkConfig(mesh_width=2, mesh_height=2),
+        directory_policy=policy,
+    )
+
+
+def read(core: int, line: int, page: int = 0, pid: int = 0) -> AccessRecord:
+    return AccessRecord(
+        core=core,
+        vaddr=BASE_VADDR + page * 4096 + line * 64,
+        access_type=AccessType.READ,
+        process_id=pid,
+    )
+
+
+def write(core: int, line: int, page: int = 0, pid: int = 0) -> AccessRecord:
+    return AccessRecord(
+        core=core,
+        vaddr=BASE_VADDR + page * 4096 + line * 64,
+        access_type=AccessType.WRITE,
+        process_id=pid,
+    )
+
+
+def hit_stream(n: int, lines: int = 8) -> list:
+    """Hot-line reads on core 0: everything after warm-up is an L1 hit."""
+    return [read(0, i % lines) for i in range(n)]
+
+
+def run_engines(config: SystemConfig, records, engines=("packed", "batched"), **kw):
+    """Run *records* on each engine; return {engine: SimulationResult}."""
+    return {
+        engine: Simulator(config, engine=engine).run(list(records), "t", **kw)
+        for engine in engines
+    }
+
+
+def assert_engines_identical(config, records, **kw):
+    results = run_engines(config, records, **kw)
+    assert_snapshots_identical(
+        results["packed"].snapshot, results["batched"].snapshot, context="batched"
+    )
+    return results
+
+
+class TestEngineRegistration:
+    def test_batched_is_a_registered_engine(self):
+        assert "batched" in ENGINES
+        assert resolve_engine("batched") == "batched"
+
+    def test_env_selects_batched(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batched")
+        assert resolve_engine(None) == "batched"
+
+    def test_build_machine_returns_batched_machine(self):
+        machine = build_machine(tiny_config(), "batched")
+        assert isinstance(machine, BatchedMachine)
+        assert isinstance(machine, PackedMachine)  # inherits the packed path
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="chunk size"):
+            BatchedMachine(tiny_config(), chunk_records=0)
+
+    def test_chunk_size_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CHUNK", "1024")
+        assert BatchedMachine(tiny_config()).chunk_records == 1024
+        monkeypatch.delenv("REPRO_BATCH_CHUNK")
+        assert BatchedMachine(tiny_config()).chunk_records == DEFAULT_CHUNK_RECORDS
+
+
+class TestChunkHelpers:
+    def test_chunk_records_packs_columns(self):
+        records = [read(1, 3, page=2, pid=1), write(2, 5), read(0, 0)]
+        chunks = list(chunk_records(records, chunk_size=2))
+        assert [len(c) for c in chunks] == [2, 1]
+        assert list(chunks[0].cores) == [1, 2]
+        assert list(chunks[0].types) == [0, 1]  # READ, WRITE codes
+        back = [r for c in chunks for r in c.records()]
+        assert back == records
+
+    def test_truncated_keeps_prefix(self):
+        chunk = next(chunk_records([read(0, i) for i in range(10)], chunk_size=10))
+        cut = chunk.truncated(3)
+        assert len(cut) == 3
+        assert list(cut.vaddrs) == list(chunk.vaddrs[:3])
+
+    def test_iter_chunks_passes_chunks_through(self):
+        chunk = next(chunk_records(hit_stream(16), chunk_size=16))
+        assert list(iter_chunks([chunk])) == [chunk]
+
+    def test_iter_chunks_packs_record_streams(self):
+        chunks = list(iter_chunks(hit_stream(10), chunk_size=4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_iter_chunks_rejects_mixed_streams(self):
+        chunk = next(chunk_records(hit_stream(4), chunk_size=4))
+        with pytest.raises(SimulationError, match="mixed chunk/record"):
+            list(iter_chunks([chunk, read(0, 0)]))
+
+
+class TestResidueCompaction:
+    """The seams where residue replay and bulk commits interleave."""
+
+    @requires_numpy
+    def test_same_set_conflicts_within_one_chunk(self):
+        # Alternate A-way-exceeding same-set lines with hot-line hits so
+        # residue evictions land *between* classified hit runs inside a
+        # single chunk — the disturbance/poison machinery must demote the
+        # stale classifications instead of bulk-committing them.
+        config = tiny_config()
+        probe = BatchedMachine(config)
+        l1d = probe.nodes[0].caches.l1d
+        set_span = (l1d.set_mask + 1) << l1d.line_shift
+        assert set_span <= 4096, "conflict stride must stay inside one page"
+        conflicts = l1d.associativity * 2
+        stream = []
+        for i in range(conflicts * 8):
+            stream.append(read(0, (i % conflicts) * (set_span // 64)))
+            stream.append(read(0, 1))  # hot line: classified hit candidate
+            stream.append(write(0, 2))  # hot write: needs writable L2 copy
+        machine = BatchedMachine(config)
+        machine.perform_chunk(
+            next(chunk_records(stream, chunk_size=len(stream))), 1.0
+        )
+        packed = PackedMachine(config)
+        for r in stream:
+            clock = packed.nodes[r.core].clock
+            clock.instructions += 1
+            clock.now_ns += 1.0
+            latency = packed.perform_access(
+                r.core,
+                r.process_id,
+                r.vaddr,
+                r.access_type is AccessType.WRITE,
+                r.access_type is AccessType.INSTRUCTION,
+            )
+            clock.now_ns += latency
+            clock.stall_ns += latency
+        assert snapshot_diff(collect(packed), collect(machine)) == []
+        # The stream must actually have thrashed the set...
+        assert sum(n.caches.l1d.evictions for n in machine.nodes) > 0
+        # ... and the kernel must still have committed hits in bulk.
+        assert machine.batch_residue > 0
+        assert machine.batch_bulk_hits > 0
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 16, 50, 128])
+    def test_misses_at_chunk_boundaries(self, chunk_size):
+        # A fresh cold line every `chunk_size` accesses puts a miss at
+        # the first slot of every chunk; the remainder are hits whose
+        # classification was taken after the boundary miss.
+        stream = []
+        for i in range(chunk_size * 6 + chunk_size // 2 + 1):
+            if i % chunk_size == 0:
+                stream.append(read(i % CORES, i % 64, page=i % 6))
+            else:
+                stream.append(read(0, i % 4))
+        config = tiny_config()
+        machine = BatchedMachine(config, chunk_records=chunk_size)
+        simulator = Simulator.__new__(Simulator)  # reuse run() with our machine
+        simulator.config = config
+        simulator.engine = "batched"
+        simulator.machine = machine
+        simulator._finished = False
+        batched = simulator.run(stream, "t")
+        packed = Simulator(config, engine="packed").run(stream, "t")
+        assert_snapshots_identical(
+            packed.snapshot, batched.snapshot, context=f"chunk={chunk_size}"
+        )
+
+    def test_chunk_size_does_not_change_results(self, monkeypatch):
+        stream = [
+            read(i % CORES, (i * 7) % 48, page=i % 5, pid=i % 2) for i in range(900)
+        ]
+        baseline = None
+        for size in (4, 37, 256):
+            monkeypatch.setenv("REPRO_BATCH_CHUNK", str(size))
+            snapshot = (
+                Simulator(tiny_config(), engine="batched").run(stream, "t").snapshot
+            )
+            if baseline is None:
+                baseline = snapshot
+            else:
+                assert_snapshots_identical(
+                    baseline, snapshot, context=f"chunk={size}"
+                )
+
+    def test_max_accesses_cuts_mid_chunk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CHUNK", "64")
+        stream = [read(i % CORES, (i * 3) % 40, page=i % 4) for i in range(500)]
+        for cap in (1, 63, 64, 65, 250, 333):
+            results = assert_engines_identical(
+                tiny_config(), stream, max_accesses=cap
+            )
+            assert results["batched"].accesses_simulated == cap
+            assert results["packed"].accesses_simulated == cap
+
+    def test_bad_core_raises_like_packed(self):
+        stream = hit_stream(10) + [read(CORES + 3, 0)]
+        with pytest.raises(SimulationError, match="core 7"):
+            Simulator(tiny_config(), engine="batched").run(stream, "t")
+
+
+class TestFallbacks:
+    """Every degraded mode must still be bit-identical, just slower."""
+
+    def test_force_fallback_is_bit_identical(self, monkeypatch):
+        stream = [read(i % CORES, (i * 5) % 32, page=i % 3) for i in range(600)]
+        config = tiny_config()
+        vector = Simulator(config, engine="batched").run(stream, "t").snapshot
+        monkeypatch.setenv("REPRO_BATCH_FORCE_FALLBACK", "1")
+        simulator = Simulator(config, engine="batched")
+        assert simulator.machine.batch_summary()["vector_path"] is False
+        fallback = simulator.run(stream, "t").snapshot
+        assert_snapshots_identical(vector, fallback, context="fallback")
+        assert simulator.machine.batch_fallback_accesses == len(stream)
+
+    def test_fallback_machine_never_imports_numpy_paths(self, monkeypatch):
+        # The import guard: with the fallback forced, the kernel must not
+        # touch its numpy handle at all during replay.
+        monkeypatch.setenv("REPRO_BATCH_FORCE_FALLBACK", "1")
+        machine = BatchedMachine(tiny_config())
+        assert machine._numpy is None
+        chunk = next(chunk_records(hit_stream(64), chunk_size=64))
+        machine.perform_chunk(chunk, 1.0)
+        assert machine.batch_fallback_accesses == 64
+
+    @pytest.mark.parametrize("replacement", ["plru", "random"])
+    def test_non_lru_replacement_degrades_not_diverges(self, replacement):
+        stream = [read(i % CORES, (i * 5) % 32, page=i % 3) for i in range(400)]
+        config = tiny_config(replacement=replacement)
+        simulator = Simulator(config, engine="batched")
+        assert simulator.machine.batch_summary()["vector_path"] is False
+        batched = simulator.run(stream, "t").snapshot
+        packed = Simulator(config, engine="packed").run(stream, "t").snapshot
+        assert_snapshots_identical(packed, batched, context=replacement)
+
+    def test_non_dyadic_work_falls_back_sequential(self):
+        # 0.3 ns is not a multiple of 2**-12: bulk k*(work+latency) would
+        # not be bit-exact, so the chunk must replay sequentially.
+        config = tiny_config()
+        machine = BatchedMachine(config)
+        chunk = next(chunk_records(hit_stream(128), chunk_size=128))
+        machine.perform_chunk(chunk, 0.3)
+        assert machine.batch_fallback_accesses == len(chunk)
+        packed = PackedMachine(config)
+        for r in hit_stream(128):
+            clock = packed.nodes[r.core].clock
+            clock.instructions += 1
+            clock.now_ns += 0.3
+            latency = packed.perform_access(r.core, r.process_id, r.vaddr, False, False)
+            clock.now_ns += latency
+            clock.stall_ns += latency
+        assert snapshot_diff(collect(packed), collect(machine)) == []
+
+
+class TestResidueAccounting:
+    @requires_numpy
+    def test_hit_dominated_stream_has_low_residue(self):
+        machine = BatchedMachine(tiny_config(), chunk_records=512)
+        for chunk in chunk_records(hit_stream(4096), chunk_size=512):
+            machine.perform_chunk(chunk, 1.0)
+        assert machine.batched_residue_ratio < 0.10
+        summary = machine.batch_summary()
+        assert summary["chunks"] == 8
+        assert summary["accesses"] == 4096
+        assert summary["bulk_hits"] + summary["residue"] == 4096
+        assert summary["chunk_records"] == 512
+        assert summary["vector_path"] is True
+
+    def test_miss_heavy_stream_has_high_residue(self):
+        # Every access a fresh page: nothing is ever a classified hit.
+        stream = [read(i % CORES, 0, page=i) for i in range(256)]
+        machine = BatchedMachine(tiny_config(), chunk_records=256)
+        machine.perform_chunk(next(chunk_records(stream, chunk_size=256)), 1.0)
+        assert machine.batched_residue_ratio > 0.5
+
+    def test_empty_machine_reports_zero_ratio(self):
+        assert BatchedMachine(tiny_config()).batched_residue_ratio == 0.0
+
+
+class TestRunSpecPath:
+    """The real harness path: RunSpec → executor → chunked replay."""
+
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    def test_family_run_matches_packed(self, policy):
+        from repro.analysis.executor import execute_run_spec
+
+        spec = RunSpec("barnes", policy, settings=TINY)
+        packed = execute_run_spec(spec.with_engine("packed"))
+        batched = execute_run_spec(spec.with_engine("batched"))
+        assert batched.to_dict() == packed.to_dict()
+
+    def test_workload_chunk_emission_matches_record_stream(self):
+        spec = RunSpec("barnes", "baseline", settings=TINY)
+        from_records = Simulator(spec.config(), engine="batched").run(
+            spec.access_stream(), "t"
+        )
+        from_chunks = Simulator(spec.config(), engine="batched").run(
+            spec.access_chunks(chunk_size=777), "t"
+        )
+        assert_snapshots_identical(
+            from_records.snapshot, from_chunks.snapshot, context="chunk emission"
+        )

@@ -100,6 +100,74 @@ class TestSchemaValidationOnAppend:
         validate_entry({"bench": "x", "rate": 1.0, "n": 3, "ok": True, "note": None})
 
 
+class TestBatchedSchema:
+    """``bench: "batched"`` entries carry the kernel-shape fields."""
+
+    def good(self, **overrides):
+        entry = {
+            "bench": "batched",
+            "family": "baseline",
+            "accesses_per_s": 8.0e6,
+            "chunk_records": 8192,
+            "batched_residue_ratio": 0.002,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_accepts_well_formed_batched_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        validate_entry(self.good())
+        log = tmp_path / "BENCH.json"
+        append_bench_entry(log, self.good())
+        stored = latest_entry(log, bench="batched")
+        assert stored["chunk_records"] == 8192
+        assert stored["batched_residue_ratio"] == 0.002
+
+    def test_ratio_boundaries_are_inclusive(self):
+        validate_entry(self.good(batched_residue_ratio=0.0))
+        validate_entry(self.good(batched_residue_ratio=1.0))
+        validate_entry(self.good(batched_residue_ratio=1))  # int in range is fine
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"chunk_records": None},  # missing-equivalent
+            {"chunk_records": 0},
+            {"chunk_records": -8192},
+            {"chunk_records": 8192.0},  # must be an int
+            {"chunk_records": True},  # bool is not a count
+            {"batched_residue_ratio": None},
+            {"batched_residue_ratio": -0.01},
+            {"batched_residue_ratio": 1.01},
+            {"batched_residue_ratio": True},
+            {"batched_residue_ratio": "0.5"},
+        ],
+    )
+    def test_rejects_malformed_batched_fields(self, tmp_path, overrides):
+        bad = self.good(**overrides)
+        with pytest.raises(ValueError):
+            validate_entry(bad)
+        log = tmp_path / "BENCH.json"
+        with pytest.raises(ValueError):
+            append_bench_entry(log, bad)
+        assert not log.exists()
+
+    def test_missing_batched_fields_rejected(self):
+        entry = self.good()
+        del entry["chunk_records"]
+        with pytest.raises(ValueError):
+            validate_entry(entry)
+        entry = self.good()
+        del entry["batched_residue_ratio"]
+        with pytest.raises(ValueError):
+            validate_entry(entry)
+
+    def test_other_benches_do_not_need_batched_fields(self):
+        # Backward compatibility: the batched requirements are scoped to
+        # bench == "batched" only.
+        validate_entry({"bench": "hot_path", "engine": "packed", "rate": 1.0e6})
+
+
 class TestDamageSalvage:
     """One bad byte must never erase the whole perf history again."""
 

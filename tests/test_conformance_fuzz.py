@@ -1,12 +1,12 @@
-"""Conformance-first differential fuzzing: packed vs. reference, mid-run.
+"""Conformance-first differential fuzzing: all engines vs. reference, mid-run.
 
 The cross-engine suite (``test_cross_engine.py``) compares snapshots at
 the *end* of each run; a divergence that a later access happens to cancel
 out would slip through.  This harness adopts the LITMUS-RT workload
 generator's idiom — parameterized randomized stress streams as the
 primary correctness instrument — and tightens the contract: hypothesis
-drives long random access streams through a packed and a reference
-machine *in lock-step* and asserts
+drives long random access streams through packed, batched and reference
+machines *in lock-step* and asserts
 :func:`repro.stats.compare.snapshot_diff` is empty at a sampled step
 cadence, not just at the end.  Streams shrink like any hypothesis
 example, so a failure minimises to the shortest diverging prefix.
@@ -33,9 +33,10 @@ from repro.system.config import (
     NetworkConfig,
     SystemConfig,
 )
+from repro.system.batchcore import AccessChunk, BatchedMachine
 from repro.system.fastcore import PackedMachine, build_machine
 from repro.system.simulator import Simulator
-from repro.trace.record import AccessType
+from repro.trace.record import AccessRecord, AccessType
 from repro.workloads.registry import MICROBENCH_FAMILIES
 
 CORES = 4
@@ -83,20 +84,26 @@ def process_of(layout: str, core: int) -> int:
 def run_lockstep(
     config: SystemConfig, stream, layout: str, cadence: int, structural_defer=None
 ):
-    """Drive both engines access-for-access; diff snapshots every *cadence*.
+    """Drive all three engines in lock-step; diff snapshots every *cadence*.
 
     Replays the stream exactly the way ``Simulator.run`` does (same clock
     and instruction accounting), so the sampled snapshots are the ones a
-    real run would have produced had it stopped there.  Returns the
+    real run would have produced had it stopped there.  The reference
+    and packed machines replay access-by-access; the batched machine
+    consumes the same accesses as :class:`AccessChunk` blocks flushed at
+    each cadence boundary, so the sampled cadences (7/17/33) double as
+    odd chunk sizes exercising the chunk-boundary protocol.  Returns the
     packed machine so callers can pin its miss-path counters.
-    *structural_defer* pins the packed machine's forced-deferral set;
-    pass ``()`` for tests whose counters assume the default fast path
-    even when ``REPRO_PACKED_DEFER`` is set in the environment.
+    *structural_defer* pins the forced-deferral set of both fast
+    machines; pass ``()`` for tests whose counters assume the default
+    fast path even when ``REPRO_PACKED_DEFER`` is set in the environment.
     """
     machines = [
         build_machine(config, "reference"),
         PackedMachine(config, structural_defer=structural_defer),
     ]
+    batched = BatchedMachine(config, structural_defer=structural_defer)
+    pending = AccessChunk()
     work_ns = config.core.cpu_work_per_access_ns
     for step, (core, page, line, kind) in enumerate(stream, start=1):
         vaddr = BASE_VADDR + page * 4096 + line * 64
@@ -111,12 +118,24 @@ def run_lockstep(
             )
             clock.now_ns += latency
             clock.stall_ns += latency
-        if step % cadence == 0 or step == len(stream):
-            diffs = snapshot_diff(collect(machines[0]), collect(machines[1]))
-            assert diffs == [], (
-                f"engines diverged at step {step}/{len(stream)} "
-                f"(layout {layout}): {diffs}"
+        pending.append_record(
+            AccessRecord(
+                core=core,
+                vaddr=vaddr,
+                access_type=kind,
+                process_id=process_of(layout, core),
             )
+        )
+        if step % cadence == 0 or step == len(stream):
+            batched.perform_chunk(pending, work_ns)
+            pending = AccessChunk()
+            reference_snapshot = collect(machines[0])
+            for name, machine in (("packed", machines[1]), ("batched", batched)):
+                diffs = snapshot_diff(reference_snapshot, collect(machine))
+                assert diffs == [], (
+                    f"{name} engine diverged at step {step}/{len(stream)} "
+                    f"(layout {layout}): {diffs}"
+                )
     return machines[1]
 
 

@@ -1,4 +1,4 @@
-"""Round-trip, determinism and error-context tests for binary trace v2."""
+"""Round-trip, determinism and error-context tests for binary traces (v2+v3)."""
 
 from __future__ import annotations
 
@@ -9,16 +9,27 @@ from repro.analysis.plan import ExperimentSettings, RunSpec
 from repro.errors import WorkloadError
 from repro.trace import (
     FORMAT_BINARY,
+    FORMAT_BLOCKED,
     FORMAT_TEXT,
     BinaryTraceWriter,
+    BlockedTraceWriter,
     count_records,
     inspect_trace,
     read_trace,
+    read_trace_chunks,
+    read_trace_v3,
+    read_trace_v3_chunks,
     sniff_format,
     write_trace,
     write_trace_v2,
+    write_trace_v3,
 )
-from repro.trace.binary import HEADER_SIZE, read_trace_v2, stored_record_count
+from repro.trace.binary import (
+    HEADER_SIZE,
+    read_trace_v2,
+    stored_record_count,
+    v3_block_stats,
+)
 from repro.trace.record import AccessRecord, AccessType
 from repro.workloads.base import SyntheticWorkload
 from repro.workloads.multiprocess import build_multiprocess_spec, generate_multiprocess
@@ -234,6 +245,190 @@ class TestReplayVsGenerate:
         assert traced.digest() != spec.digest()
         assert traced.stream_digest() == spec.stream_digest()
 
+    def test_executor_trace_dir_serves_blocked_recordings(self, tmp_path):
+        """A `trace record --format blocked` directory must serve sweeps."""
+        from repro.analysis.executor import (
+            SOURCE_REPLAYED,
+            SweepExecutor,
+            record_spec_trace,
+            trace_file_name,
+        )
+        from repro.analysis.plan import figure3_plan
+
+        plan = figure3_plan(TINY, benchmarks=["barnes"])
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        for spec in plan.specs:
+            path = (trace_dir / trace_file_name(spec)).with_suffix(".rpt3")
+            if not path.exists():
+                record_spec_trace(spec, path, format="blocked")
+        assert list(trace_dir.glob("*.rpt2")) == []
+        replayed = SweepExecutor(trace_dir=trace_dir).run_plan(plan)
+        assert all(r.source == SOURCE_REPLAYED for r in replayed.results)
+        generated = SweepExecutor().run_plan(plan)
+        for left, right in zip(replayed.results, generated.results):
+            assert left.spec == right.spec
+            assert left.snapshot.to_dict() == right.snapshot.to_dict()
+
+
+#: Records a v3 trace can hold: cores and pids are stored as one byte.
+blocked_record_strategy = st.builds(
+    AccessRecord,
+    core=st.integers(min_value=0, max_value=255),
+    vaddr=st.integers(min_value=0, max_value=(1 << 52) - 1),
+    access_type=st.sampled_from(list(AccessType)),
+    process_id=st.integers(min_value=0, max_value=255),
+)
+
+
+class TestBlockedV3RoundTrip:
+    def test_workload_stream_round_trips(self, tmp_path):
+        records = workload_records()
+        path = tmp_path / "t.rpt3"
+        written = write_trace_v3(path, records)
+        assert written == len(records)
+        assert list(read_trace_v3(path)) == records
+        assert sniff_format(path) == FORMAT_BLOCKED
+        assert list(read_trace(path)) == records  # transparent dispatch
+        assert count_records(path) == len(records)
+
+    def test_multiblock_layout_and_chunk_decode(self, tmp_path):
+        records = workload_records(accesses=1000)
+        path = tmp_path / "t.rpt3"
+        write_trace_v3(path, records, block_records=256)
+        chunks = list(read_trace_v3_chunks(path))
+        expected_blocks = -(-len(records) // 256)
+        full, tail = divmod(len(records), 256)
+        assert [len(c) for c in chunks] == [256] * full + ([tail] if tail else [])
+        back = [r for c in chunks for r in c.records()]
+        assert back == records
+        stats = v3_block_stats(path)
+        assert stats["blocks"] == expected_blocks
+        assert stats["max_block_records"] == 256
+        assert stats["records_per_block"] == pytest.approx(
+            len(records) / expected_blocks
+        )
+
+    def test_read_trace_chunks_dispatches_all_formats(self, tmp_path):
+        records = workload_records(accesses=600)
+        blocked = tmp_path / "t.rpt3"
+        binary = tmp_path / "t.rpt2"
+        write_trace_v3(blocked, records, block_records=128)
+        write_trace_v2(binary, records)
+        for path in (blocked, binary):
+            back = [r for c in read_trace_chunks(path) for r in c.records()]
+            assert back == records
+
+    def test_fallback_decoder_matches_numpy_decoder(self, tmp_path, monkeypatch):
+        records = workload_records(accesses=700)
+        path = tmp_path / "t.rpt3"
+        write_trace_v3(path, records, block_records=128)
+        fast = [r for c in read_trace_v3_chunks(path) for r in c.records()]
+        monkeypatch.setenv("REPRO_BATCH_FORCE_FALLBACK", "1")
+        slow = [r for c in read_trace_v3_chunks(path) for r in c.records()]
+        assert fast == slow == records
+
+    def test_write_is_deterministic(self, tmp_path):
+        records = workload_records(accesses=1000)
+        a, b = tmp_path / "a.rpt3", tmp_path / "b.rpt3"
+        write_trace_v3(a, records)
+        write_trace_v3(b, records)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_streaming_writer_counts_and_patches_header(self, tmp_path):
+        records = workload_records(accesses=500)
+        path = tmp_path / "t.rpt3"
+        with BlockedTraceWriter(path, block_records=64) as writer:
+            for record in records:
+                writer.write(record)
+            assert writer.record_count == len(records)
+        assert stored_record_count(path) == len(records)
+        assert list(read_trace_v3(path)) == records
+
+    @settings(max_examples=30, deadline=None)
+    @given(records=st.lists(blocked_record_strategy, max_size=60))
+    def test_arbitrary_records_round_trip(self, records, tmp_path_factory):
+        path = tmp_path_factory.mktemp("hyp3") / "t.rpt3"
+        write_trace_v3(path, records, block_records=7)
+        assert list(read_trace_v3(path)) == records
+
+    def test_empty_stream_round_trips(self, tmp_path):
+        path = tmp_path / "empty.rpt3"
+        assert write_trace_v3(path, []) == 0
+        assert list(read_trace_v3(path)) == []
+        assert count_records(path) == 0
+
+
+class TestBlockedV3Errors:
+    def make_trace(self, tmp_path, block_records=64):
+        path = tmp_path / "t.rpt3"
+        write_trace_v3(
+            path, workload_records(accesses=200), block_records=block_records
+        )
+        return path
+
+    def test_writer_rejects_wide_core_and_pid(self, tmp_path):
+        wide_core = AccessRecord(
+            core=256, vaddr=64, access_type=AccessType.READ, process_id=0
+        )
+        with pytest.raises(WorkloadError, match="core"):
+            write_trace_v3(tmp_path / "t.rpt3", [wide_core])
+        wide_pid = AccessRecord(
+            core=0, vaddr=64, access_type=AccessType.READ, process_id=999
+        )
+        with pytest.raises(WorkloadError, match="process"):
+            write_trace_v3(tmp_path / "t2.rpt3", [wide_pid])
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "t.rpt3"
+        path.write_bytes(b"\x89RPT9\r\n\x1a" + b"\x00" * 8)
+        with pytest.raises(WorkloadError, match="bad magic"):
+            list(read_trace_v3(path))
+
+    def test_truncated_block_body_names_block_and_offset(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 9])
+        with pytest.raises(WorkloadError, match=r"block \d+ at byte \d+.*truncated"):
+            list(read_trace_v3(path))
+
+    @pytest.mark.parametrize("numpy_enabled", [True, False])
+    def test_invalid_type_code_rejected_by_both_decoders(
+        self, tmp_path, monkeypatch, numpy_enabled
+    ):
+        path = self.make_trace(tmp_path, block_records=200)
+        data = bytearray(path.read_bytes())
+        # Corrupt the first record's type byte (addrs: 8n, cores/pids: 2n).
+        type_column = HEADER_SIZE + 8 + 8 * 200 + 2 * 200
+        data[type_column] = 7
+        path.write_bytes(bytes(data))
+        if not numpy_enabled:
+            monkeypatch.setenv("REPRO_BATCH_FORCE_FALLBACK", "1")
+        with pytest.raises(WorkloadError, match="invalid access-type"):
+            list(read_trace_v3(path))
+
+    def test_header_count_mismatch_detected(self, tmp_path):
+        path = self.make_trace(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[8:16] = (5).to_bytes(8, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(WorkloadError, match="promises 5 records"):
+            list(read_trace_v3(path))
+
+
+class TestBlockedReplay:
+    """Blocked traces feed the batched engine bit-identically."""
+
+    def test_blocked_replay_matches_generated_run(self, tmp_path):
+        from repro.analysis.executor import execute_run_spec, record_spec_trace
+
+        spec = RunSpec("barnes", "allarm", settings=TINY)
+        path = tmp_path / "barnes.rpt3"
+        record_spec_trace(spec, path, format=FORMAT_BLOCKED)
+        generated = execute_run_spec(spec)
+        replayed = execute_run_spec(spec.with_trace(path).with_engine("batched"))
+        assert replayed.to_dict() == generated.to_dict()
+
 
 class TestInspect:
     def test_inspect_reports_both_formats(self, tmp_path):
@@ -247,3 +442,34 @@ class TestInspect:
         assert info_t.writes == info_b.writes
         assert info_b.core_count == 16
         assert info_b.bytes_per_record < info_t.bytes_per_record
+
+    def test_inspect_reports_streams_and_blocks(self, tmp_path):
+        records = workload_records(accesses=400)
+        blocked = tmp_path / "t.rpt3"
+        binary = tmp_path / "t.rpt2"
+        write_trace_v3(blocked, records, block_records=100)
+        write_trace_v2(binary, records)
+        info_blocked = inspect_trace(blocked)
+        info_binary = inspect_trace(binary)
+        # Stored blocks for v3; estimated decode chunks for v2.
+        assert info_blocked.blocks == -(-len(records) // 100)
+        assert 0 < info_blocked.records_per_block <= 100.0
+        assert info_binary.blocks >= 1
+        assert info_blocked.decode_mb_s > 0
+        # Per-stream counts: same partition from either format.
+        assert info_blocked.stream_records == info_binary.stream_records
+        assert sum(info_blocked.stream_records.values()) == len(records)
+        for stream in info_blocked.stream_records:
+            assert stream.startswith("p") and "/c" in stream
+
+    def test_cli_trace_info_renders_blocked_trace(self, tmp_path, capsys):
+        from repro.__main__ import main as repro_main
+
+        path = tmp_path / "t.rpt3"
+        write_trace_v3(path, workload_records(accesses=300), block_records=64)
+        assert repro_main(["trace", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "blocked trace" in out
+        assert "blocks" in out and "records/block" in out
+        assert "decode MB/s" in out
+        assert "streams" in out and "p0/c0" in out
