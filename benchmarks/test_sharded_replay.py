@@ -1,0 +1,169 @@
+"""Sharded-replay gate: epoch-parallel replay must beat single-process.
+
+Replays one hit-dominated v3.1 blocked trace (seekable epoch index)
+through the packed engine three ways — plain single-process, serial with
+epoch checkpoints, and sharded over a process pool — and asserts the
+sharding contract:
+
+* every mode's final snapshot is **bit-identical** to the plain replay
+  (``snapshot_diff == []``), and
+* the 4-shard replay is at least **1.5x faster** than the single-process
+  replay (wall-clock, same machine, same process tree).
+
+The stream is hit-dominated because that is the regime where sharding
+pays: replay throughput is compute-bound in the engine's hit path, so
+splitting epochs across cores scales until trace decode or checkpoint
+restore dominates.  The serial checkpoint-recording pass is a one-time
+cost (like recording the trace itself) and is reported but not gated.
+
+Measurements land in ``BENCH_sharded.json`` with ``bench: "sharded"``
+(shards, epoch size and speedup per entry) so the sharded-replay
+trajectory is visible across PRs; disable with ``REPRO_BENCH_LOG=0``.
+
+Knobs:
+
+* ``REPRO_SKIP_PERF=1``              — skip the timing-based speedup gate
+  (bit-identity is still asserted).
+* ``REPRO_SHARD_PERF_RECORDS=N``     — stream length (default 400,000;
+  rounded down to a whole number of epochs).
+* ``REPRO_SHARDED_MIN_SPEEDUP=F``    — 4-shard speedup floor
+  (default 1.5; relax on 2-core shared runners).
+
+The speedup gate needs hardware parallelism: on hosts with fewer than 4
+CPUs the measurements and bit-identity checks still run and are logged,
+but the floor assertion is waived unless ``REPRO_SHARDED_MIN_SPEEDUP``
+is set explicitly — 4 workers cannot beat 1 on a single core.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.benchlog import append_bench_entry
+from repro.analysis.shard import record_checkpoints, replay_sharded
+from repro.stats.compare import snapshot_diff
+from repro.system.config import experiment_config
+from repro.system.simulator import Simulator
+from repro.trace.binary import write_trace_v3
+from repro.trace.io import read_trace
+from repro.trace.record import AccessRecord, AccessType
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_LOG = REPO_ROOT / "BENCH_sharded.json"
+
+DEFAULT_RECORDS = 400_000
+DEFAULT_MIN_SPEEDUP = 1.5
+BLOCK_RECORDS = 8192
+EPOCHS = 8
+
+
+def _timed(fn):
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - started
+    finally:
+        gc.enable()
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PERF") == "1",
+    reason="REPRO_SKIP_PERF=1 disables timing-based gates",
+)
+def test_sharded_replay_speedup(tmp_path):
+    record_count = int(
+        os.environ.get("REPRO_SHARD_PERF_RECORDS", DEFAULT_RECORDS)
+    )
+    min_speedup = float(
+        os.environ.get("REPRO_SHARDED_MIN_SPEEDUP", DEFAULT_MIN_SPEEDUP)
+    )
+    # Epoch size: the stream split into EPOCHS whole-block epochs.
+    blocks_per_epoch = max(1, record_count // (EPOCHS * BLOCK_RECORDS))
+    epoch_records = blocks_per_epoch * BLOCK_RECORDS
+    record_count = epoch_records * EPOCHS
+
+    read = AccessType.READ
+    records = [
+        AccessRecord(core=0, vaddr=0x2000_0000 + (i % 16) * 64, access_type=read)
+        for i in range(record_count)
+    ]
+    trace = tmp_path / "hot.rpt3"
+    write_trace_v3(
+        trace, records, block_records=BLOCK_RECORDS, epoch_records=epoch_records
+    )
+    del records
+
+    config = experiment_config("baseline", scale=16)
+
+    # Baseline: plain single-process replay (no checkpoints).
+    def _plain():
+        simulator = Simulator(config, engine="packed")
+        return simulator.run(read_trace(trace), "sharded-baseline")
+
+    base_result, base_elapsed = _timed(_plain)
+    assert base_result.accesses_simulated == record_count
+
+    # One-time cost: serial checkpoint recording (reported, not gated).
+    checkpoint_dir = tmp_path / "ckpt"
+    serial_result, record_elapsed = _timed(
+        lambda: record_checkpoints(
+            config, trace, epoch_records, checkpoint_dir, engine="packed"
+        )
+    )
+    assert snapshot_diff(base_result.snapshot, serial_result.snapshot) == []
+
+    print(
+        f"\n{record_count} records, {EPOCHS} epochs x {epoch_records}: "
+        f"plain {base_elapsed:.2f}s, checkpointed {record_elapsed:.2f}s"
+    )
+
+    speedups = {}
+    for shards in (2, 4):
+        sharded, elapsed = _timed(
+            lambda shards=shards: replay_sharded(
+                config, trace, shards, checkpoint_dir, engine="packed"
+            )
+        )
+        assert snapshot_diff(base_result.snapshot, sharded.snapshot) == []
+        speedup = base_elapsed / elapsed if elapsed > 0 else float("inf")
+        speedups[shards] = speedup
+        print(
+            f"  {shards} shards: {elapsed:.2f}s — {speedup:.2f}x vs "
+            f"single-process"
+        )
+        append_bench_entry(
+            BENCH_LOG,
+            {
+                "bench": "sharded",
+                "engine": "packed",
+                "records": record_count,
+                "shards": shards,
+                "epoch_records": epoch_records,
+                "epochs": EPOCHS,
+                "baseline_s": round(base_elapsed, 4),
+                "checkpoint_record_s": round(record_elapsed, 4),
+                "elapsed_s": round(elapsed, 4),
+                "records_per_s": round(record_count / elapsed, 1),
+                "speedup": round(speedup, 3),
+            },
+            repo_root=REPO_ROOT,
+        )
+
+    cpus = os.cpu_count() or 1
+    if cpus < 4 and "REPRO_SHARDED_MIN_SPEEDUP" not in os.environ:
+        print(
+            f"  speedup floor waived: host has {cpus} CPU(s); "
+            f"set REPRO_SHARDED_MIN_SPEEDUP to enforce one anyway"
+        )
+        return
+    assert speedups[4] >= min_speedup, (
+        f"4-shard replay ran {speedups[4]:.2f}x the single-process speed, "
+        f"below the {min_speedup:.1f}x gate"
+    )

@@ -10,12 +10,19 @@ Commands
     table.
 ``trace record``
     Capture the workload streams of a plan as binary v2 traces, one file
-    per distinct stream.
+    per distinct stream (``--format blocked --epoch-records N`` records
+    v3.1 columnar traces with a seekable epoch index).
 ``trace replay``
     Replay one trace file against a configurable machine and print the
     run's headline statistics.
 ``trace info``
-    Summarise a trace file (format, records, size, access mix).
+    Summarise a trace file (format, records, size, access mix, epochs).
+``replay``
+    Checkpointed/sharded replay of one trace: serial with periodic
+    machine checkpoints (``--checkpoint-dir``), resumable after a kill
+    (``--resume``), or fanned over a process pool (``--shards N``) with
+    each worker restoring its span's checkpoint.  Snapshots are
+    bit-identical to a plain single-process replay in every mode.
 ``golden record``
     Run the canonical conformance grid and (re)write the golden-snapshot
     corpus (``tests/golden/corpus.json`` by default).
@@ -36,8 +43,14 @@ Examples
     python -m repro sweep --plan fig3 --engine reference --cache-dir .repro-cache
     python -m repro sweep --plan fig3 --trace-dir .repro-traces --record-traces
     python -m repro trace record --plan micro --trace-dir .repro-traces
+    python -m repro trace record --plan micro --trace-dir .repro-traces \\
+        --format blocked --epoch-records 100000
     python -m repro trace replay .repro-traces/<digest>.rpt2 --policy allarm
     python -m repro trace info .repro-traces/<digest>.rpt2
+    python -m repro replay .repro-traces/<digest>.rpt3 \\
+        --epoch-records 100000 --checkpoint-dir .repro-ckpt --resume
+    python -m repro replay .repro-traces/<digest>.rpt3 \\
+        --checkpoint-dir .repro-ckpt --shards 4
     python -m repro golden record
     python -m repro golden check --engine reference
     python -m repro plans
@@ -139,6 +152,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         trace_dir=args.trace_dir,
         record_traces=args.record_traces,
+        trace_format=args.trace_format,
     )
 
     engines = sorted({spec.engine for spec in plan})
@@ -186,13 +200,17 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     print("-" * len(header))
     recorded = skipped = 0
     for _digest, spec in sorted(streams.items()):
-        path = trace_dir / trace_file_name(spec)
-        if args.format == "blocked":
-            path = path.with_suffix(".rpt3")
+        path = trace_dir / trace_file_name(spec, format=args.format)
         if path.exists() and not args.force:
             skipped += 1
             continue
-        count = record_spec_trace(spec, path, format=args.format)
+        count = record_spec_trace(
+            spec,
+            path,
+            format=args.format,
+            epoch_records=args.epoch_records,
+            block_records=args.block_records,
+        )
         size = path.stat().st_size
         print(
             f"{spec.workload_name:<20} {count:>9} {size:>10} "
@@ -259,10 +277,75 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     blocks_label = "blocks" if info.format == "blocked" else "decode chunks"
     print(f"  {blocks_label:<14} {info.blocks}")
     print(f"  records/block  {info.records_per_block:.1f}")
+    if info.format == "blocked":
+        if info.epochs:
+            print(
+                f"  epochs         {info.epochs} "
+                f"({info.epoch_records} records each)"
+            )
+        else:
+            print("  epochs         none (no epoch index)")
     print(f"  decode MB/s    {info.decode_mb_s:.1f}")
     print("  streams")
     for stream, count in info.stream_records.items():
         print(f"    {stream:<12} {count}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.analysis.shard import record_checkpoints, replay_sharded
+    from repro.system.config import experiment_config
+
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    config = experiment_config(
+        args.policy,
+        nominal_probe_filter_coverage=args.pf_size,
+        **overrides,
+    )
+    started = time.perf_counter()
+    if args.shards > 1:
+        outcome = replay_sharded(
+            config,
+            args.path,
+            shards=args.shards,
+            checkpoint_dir=args.checkpoint_dir,
+            engine=args.engine,
+        )
+        elapsed = time.perf_counter() - started
+        rate = outcome.accesses_simulated / elapsed if elapsed > 0 else 0.0
+        print(
+            f"replayed {outcome.accesses_simulated} accesses over "
+            f"{len(outcome.spans)} shards x {outcome.epochs} epochs in "
+            f"{elapsed:.2f}s ({rate:,.0f}/s aggregate)"
+        )
+        snapshot = outcome.snapshot
+    else:
+        if args.epoch_records is None:
+            print(
+                "error: serial checkpointed replay needs --epoch-records",
+                file=sys.stderr,
+            )
+            return 2
+        result = record_checkpoints(
+            config,
+            args.path,
+            epoch_records=args.epoch_records,
+            checkpoint_dir=args.checkpoint_dir,
+            engine=args.engine,
+            resume=args.resume,
+        )
+        elapsed = time.perf_counter() - started
+        replayed = result.accesses_simulated
+        rate = replayed / elapsed if elapsed > 0 else 0.0
+        print(
+            f"replayed to access {replayed} in {elapsed:.2f}s "
+            f"({rate:,.0f}/s), checkpoints in {args.checkpoint_dir}"
+        )
+        snapshot = result.snapshot
+    for key, value in snapshot.as_dict().items():
+        print(f"  {key:<24} {value}")
     return 0
 
 
@@ -380,6 +463,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --trace-dir: capture any missing workload trace before running",
     )
     sweep.add_argument(
+        "--trace-format",
+        choices=("binary", "blocked"),
+        default=None,
+        help=(
+            "format for traces captured by --record-traces (default: "
+            "'blocked' for batched-engine specs, 'binary' otherwise)"
+        ),
+    )
+    sweep.add_argument(
         "--engine",
         choices=ENGINES,
         help=(
@@ -416,6 +508,22 @@ def build_parser() -> argparse.ArgumentParser:
             "trace format: v2 'binary' (compact, default) or v3 'blocked' "
             "(columnar, fastest on the batched engine)"
         ),
+    )
+    record.add_argument(
+        "--epoch-records",
+        type=int,
+        default=None,
+        help=(
+            "with --format blocked: add the v3.1 seekable epoch index, "
+            "one entry per this many records (enables sharded replay; "
+            "must be a multiple of the block size)"
+        ),
+    )
+    record.add_argument(
+        "--block-records",
+        type=int,
+        default=None,
+        help="with --format blocked: records per columnar block (default: 8192)",
     )
     _add_settings_arguments(record)
     record.set_defaults(func=_cmd_trace_record)
@@ -456,6 +564,62 @@ def build_parser() -> argparse.ArgumentParser:
     info = trace_sub.add_parser("info", help="summarise a trace file")
     info.add_argument("path", help="trace file (text v1 or binary v2)")
     info.set_defaults(func=_cmd_trace_info)
+
+    sharded = subparsers.add_parser(
+        "replay",
+        help="checkpointed/sharded replay of one trace (resume after kill)",
+    )
+    sharded.add_argument("path", help="trace file to replay")
+    sharded.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        help="directory holding the epoch checkpoints and manifest",
+    )
+    sharded.add_argument(
+        "--epoch-records",
+        type=int,
+        default=None,
+        help="checkpoint every this many accesses (serial mode)",
+    )
+    sharded.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed serial replay from its newest checkpoint",
+    )
+    sharded.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "fan epoch spans over this many worker processes (needs a "
+            "v3.1 epoch-indexed trace and a prior serial checkpointed "
+            "run; default: 1, serial)"
+        ),
+    )
+    sharded.add_argument(
+        "--policy",
+        choices=("baseline", "allarm"),
+        default="baseline",
+        help="directory policy to replay under (default: baseline)",
+    )
+    sharded.add_argument(
+        "--pf-size",
+        type=int,
+        default=512 * 1024,
+        help="nominal probe-filter coverage in bytes (default: 512 kB)",
+    )
+    sharded.add_argument(
+        "--scale",
+        type=int,
+        help="machine down-scale factor (default: the harness-wide default)",
+    )
+    sharded.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help=f"simulation engine (default: {DEFAULT_ENGINE})",
+    )
+    sharded.set_defaults(func=_cmd_replay)
 
     golden = subparsers.add_parser(
         "golden", help="record/check the golden-snapshot conformance corpus"

@@ -147,9 +147,12 @@ def validate_entry(entry: Dict[str, object]) -> None:
     batched-kernel shape fields: a positive integer ``chunk_records``
     and a ``batched_residue_ratio`` in ``[0, 1]`` — the two numbers a
     trajectory reader needs to interpret a batched throughput figure.
-    Raises :class:`ValueError` naming the offending field, so a
-    malformed bench fails loudly instead of poisoning the persisted
-    trajectory.
+    Entries declaring ``bench: "sharded"`` carry the sharded-replay
+    shape: positive integers ``shards`` and ``epoch_records`` plus a
+    positive ``speedup`` (sharded wall-clock over single-process
+    wall-clock for the same replay).  Raises :class:`ValueError` naming
+    the offending field, so a malformed bench fails loudly instead of
+    poisoning the persisted trajectory.
     """
     if not isinstance(entry, dict) or not entry:
         raise ValueError("bench entry must be a non-empty dict")
@@ -178,6 +181,22 @@ def validate_entry(entry: Dict[str, object]) -> None:
             raise ValueError(
                 "batched bench entry needs a 'batched_residue_ratio' in [0, 1] "
                 f"(got {ratio!r})"
+            )
+    if entry.get("bench") == "sharded":
+        for key in ("shards", "epoch_records"):
+            value = entry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ValueError(
+                    f"sharded bench entry needs a positive integer {key!r} "
+                    f"(got {value!r})"
+                )
+        speedup = entry.get("speedup")
+        if not isinstance(speedup, (int, float)) or isinstance(speedup, bool) \
+                or not speedup > 0:
+            raise ValueError(
+                "sharded bench entry needs a positive 'speedup' "
+                f"(got {speedup!r})"
             )
 
 

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.analysis.plan import RunSpec, SweepPlan
+from repro.errors import ConfigurationError
 from repro.stats.snapshot import SNAPSHOT_SCHEMA_VERSION, MachineSnapshot
 from repro.system.simulator import simulate
 from repro.trace.binary import write_trace_v2
@@ -101,7 +102,14 @@ def _timed_execute(spec: RunSpec):
     return snapshot, time.perf_counter() - started
 
 
-def trace_file_name(spec: RunSpec) -> str:
+#: File suffix per recordable trace format.  The suffix is load-bearing:
+#: :meth:`SweepExecutor.trace_path_for` picks replay sources by it, so a
+#: recording whose name disagrees with its encoding would silently send
+#: every replay down the wrong decode path.
+TRACE_SUFFIXES = {"binary": ".rpt2", "blocked": ".rpt3"}
+
+
+def trace_file_name(spec: RunSpec, format: str = "binary") -> str:
     """File name of *spec*'s recorded workload stream in a trace directory.
 
     Combines the stream digest (shared by every policy/filter-size
@@ -109,26 +117,65 @@ def trace_file_name(spec: RunSpec) -> str:
     edit — a generator tweak, a seed change — silently retires old
     recordings instead of replaying streams the current code would no
     longer produce (which would poison the snapshot cache under the new
-    code's identity).
+    code's identity).  The suffix follows *format* (``.rpt2`` for v2
+    ``"binary"``, ``.rpt3`` for v3 ``"blocked"``).
     """
-    return f"{spec.stream_digest()}-{code_fingerprint()[:12]}.rpt2"
+    suffix = TRACE_SUFFIXES.get(format)
+    if suffix is None:
+        raise ConfigurationError(
+            f"unknown trace format {format!r}; expected one of "
+            f"{sorted(TRACE_SUFFIXES)}"
+        )
+    return f"{spec.stream_digest()}-{code_fingerprint()[:12]}{suffix}"
 
 
 def record_spec_trace(
-    spec: RunSpec, path: Union[str, Path], format: str = "binary"
+    spec: RunSpec,
+    path: Union[str, Path],
+    format: str = "binary",
+    epoch_records: Optional[int] = None,
+    block_records: Optional[int] = None,
 ) -> int:
     """Capture *spec*'s workload stream as a trace file at *path*.
 
     *format* is ``"binary"`` (v2, compact — the default) or
     ``"blocked"`` (v3 columnar, fastest to replay on the batched
-    engine).  Returns the number of records written.  The write is
+    engine); *epoch_records* (blocked only) adds the v3.1 seekable
+    epoch index.  Returns the number of records written.  The write is
     atomic, so a reader (or a concurrent recorder of the same stream)
     never sees a partial trace.
-    """
-    if format == "blocked":
-        from repro.trace.binary import write_trace_v3
 
-        return write_trace_v3(path, spec.access_stream())
+    A *path* whose suffix names the other format is rejected: replay
+    source selection goes by suffix, so a mismatched recording would be
+    decoded as the wrong format on every future replay.
+    """
+    target = Path(path)
+    expected = TRACE_SUFFIXES.get(format)
+    if expected is None:
+        raise ConfigurationError(
+            f"unknown trace format {format!r}; expected one of "
+            f"{sorted(TRACE_SUFFIXES)}"
+        )
+    if target.suffix in TRACE_SUFFIXES.values() and target.suffix != expected:
+        raise ConfigurationError(
+            f"trace path {target.name!r} has the {target.suffix!r} suffix "
+            f"but format {format!r} writes {expected!r}; name the file "
+            f"with trace_file_name(spec, format) to keep them consistent"
+        )
+    if format == "blocked":
+        from repro.trace.binary import DEFAULT_BLOCK_RECORDS, write_trace_v3
+
+        return write_trace_v3(
+            path,
+            spec.access_stream(),
+            block_records=block_records or DEFAULT_BLOCK_RECORDS,
+            epoch_records=epoch_records,
+        )
+    if epoch_records is not None or block_records is not None:
+        raise ConfigurationError(
+            "epoch_records/block_records require the 'blocked' format; "
+            "the sequential formats have neither blocks nor epochs"
+        )
     return write_trace_v2(path, spec.access_stream())
 
 
@@ -299,6 +346,13 @@ class SweepExecutor:
         With a ``trace_dir``, capture the trace of any spec whose stream
         is not yet recorded before executing it (recording happens in
         the parent process, so pool workers never race on one file).
+    trace_format:
+        Format for traces captured by ``record_traces``: ``"binary"``
+        (v2) or ``"blocked"`` (v3).  The default, ``None``, picks per
+        spec — ``"blocked"`` for batched-engine specs, whose replay path
+        consumes v3 blocks natively, and ``"binary"`` otherwise.
+        (Recording batched specs in v2 silently forced every replay
+        down the sequential per-record decode path.)
     """
 
     def __init__(
@@ -307,11 +361,18 @@ class SweepExecutor:
         cache_dir: Optional[Union[str, Path]] = None,
         trace_dir: Optional[Union[str, Path]] = None,
         record_traces: bool = False,
+        trace_format: Optional[str] = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.disk_cache = SnapshotCache(cache_dir) if cache_dir else None
         self.trace_dir = Path(trace_dir) if trace_dir else None
         self.record_traces = bool(record_traces)
+        if trace_format is not None and trace_format not in TRACE_SUFFIXES:
+            raise ConfigurationError(
+                f"unknown trace format {trace_format!r}; expected one of "
+                f"{sorted(TRACE_SUFFIXES)}"
+            )
+        self.trace_format = trace_format
         self._memory: Dict[RunSpec, MachineSnapshot] = {}
 
     # ------------------------------------------------------------------
@@ -329,22 +390,39 @@ class SweepExecutor:
     # ------------------------------------------------------------------
     # Trace replay
     # ------------------------------------------------------------------
+    def trace_format_for(self, spec: RunSpec) -> str:
+        """Format a freshly captured trace of *spec* should use.
+
+        An explicit ``trace_format`` wins; otherwise batched-engine
+        specs record v3 ``"blocked"`` (their replay path streams the
+        stored blocks directly) and everything else the compact v2
+        ``"binary"``.
+        """
+        if self.trace_format is not None:
+            return self.trace_format
+        return "blocked" if spec.engine == "batched" else "binary"
+
     def trace_path_for(self, spec: RunSpec) -> Optional[Path]:
         """Where this spec's workload stream is (or would be) recorded.
 
         An existing blocked (v3, ``.rpt3``) recording wins — it replays
         fastest, chunk-for-chunk, on the batched engine and decodes
-        transparently everywhere else.  Otherwise the compact v2 name is
-        returned, which doubles as the record target for streams not yet
-        captured.
+        transparently everywhere else; an existing v2 recording is used
+        next.  When neither exists, the returned path (the record
+        target) carries the suffix of :meth:`trace_format_for`, so
+        recordings land in the format their replays want.
         """
         if self.trace_dir is None:
             return None
-        path = self.trace_dir / trace_file_name(spec)
-        blocked = path.with_suffix(".rpt3")
+        binary = self.trace_dir / trace_file_name(spec)
+        blocked = binary.with_suffix(".rpt3")
         if blocked.exists():
             return blocked
-        return path
+        if binary.exists():
+            return binary
+        return (
+            blocked if self.trace_format_for(spec) == "blocked" else binary
+        )
 
     def _effective_spec(self, spec: RunSpec) -> RunSpec:
         """Return the spec to actually execute: as-is, or trace-replayed.
@@ -361,7 +439,7 @@ class SweepExecutor:
         if not path.exists():
             if not self.record_traces:
                 return spec
-            record_spec_trace(spec, path)
+            record_spec_trace(spec, path, format=self.trace_format_for(spec))
         return spec.with_trace(path)
 
     def _resolve_cached(self, spec: RunSpec):

@@ -109,3 +109,38 @@ class MshrFile:
         self.stats.releases += len(entries)
         self._entries.clear()
         return entries
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of outstanding entries and counters."""
+        return {
+            "entries": [
+                (line, [kind.value for kind in entry.kinds])
+                for line, entry in self._entries.items()
+            ],
+            "stats": (
+                self.stats.allocations,
+                self.stats.merges,
+                self.stats.releases,
+                self.stats.peak_occupancy,
+                self.stats.full_stalls,
+            ),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self._entries.clear()
+        for line, kinds in state["entries"]:
+            self._entries[line] = MshrEntry(
+                line_address=line,
+                kinds=[RequestKind(value) for value in kinds],
+            )
+        (
+            self.stats.allocations,
+            self.stats.merges,
+            self.stats.releases,
+            self.stats.peak_occupancy,
+            self.stats.full_stalls,
+        ) = state["stats"]

@@ -275,6 +275,72 @@ class PackedCache:
         return (line_address >> self.line_shift) & self.set_mask
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of every mutable field of this cache.
+
+        Covers the flat arrays (tags, MOESI state codes, LRU stamps),
+        the global stamp counter, per-set PLRU words, the states of all
+        lazily created per-set RNGs (keyed by set index — RNGs never
+        consulted are omitted, preserving lazy-creation semantics), and
+        the seven stat counters.
+        """
+        return {
+            "tags": self.tags.tobytes(),
+            "states": bytes(self.states),
+            "stamps": self.stamps.tobytes(),
+            "stamp": self.stamp,
+            "plru_bits": list(self.plru_bits),
+            "rngs": {idx: rng.getstate() for idx, rng in self._rngs.items()},
+            "counters": (
+                self.hits,
+                self.misses,
+                self.fills,
+                self.evictions,
+                self.dirty_evictions,
+                self.invalidations_received,
+                self.upgrades,
+            ),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        The backing ``tags``/``states``/``stamps`` buffers are updated
+        with equal-length slice assignment and never reallocated, so
+        zero-copy numpy views bound over them by the batched engine stay
+        attached to live storage.
+        """
+        tags = array("q")
+        tags.frombytes(state["tags"])
+        stamps = array("q")
+        stamps.frombytes(state["stamps"])
+        if len(tags) != len(self.tags) or len(state["states"]) != len(self.states):
+            raise ConfigurationError(
+                f"cache {self.name}: checkpoint does not match this geometry"
+            )
+        self.tags[:] = tags
+        self.states[:] = state["states"]
+        self.stamps[:] = stamps
+        self.stamp = state["stamp"]
+        self.plru_bits[:] = state["plru_bits"]
+        self._rngs.clear()
+        for idx, rng_state in state["rngs"].items():
+            rng = random.Random()
+            rng.setstate(rng_state)
+            self._rngs[idx] = rng
+        (
+            self.hits,
+            self.misses,
+            self.fills,
+            self.evictions,
+            self.dirty_evictions,
+            self.invalidations_received,
+            self.upgrades,
+        ) = state["counters"]
+
+    # ------------------------------------------------------------------
     # Internal packed primitives
     # ------------------------------------------------------------------
     def find(self, line_address: int) -> int:
@@ -661,6 +727,25 @@ class PackedHierarchy:
         return (
             self.l1i.hits + self.l1i.misses + self.l1d.hits + self.l1d.misses
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot: all three caches plus the MSHR file."""
+        return {
+            "l1i": self.l1i.state_dict(),
+            "l1d": self.l1d.state_dict(),
+            "l2": self.l2.state_dict(),
+            "mshrs": self.mshrs.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self.l1i.load_state_dict(state["l1i"])
+        self.l1d.load_state_dict(state["l1d"])
+        self.l2.load_state_dict(state["l2"])
+        self.mshrs.load_state_dict(state["mshrs"])
 
     # ------------------------------------------------------------------
     def _enforce_inclusion(self, line_address: int) -> None:

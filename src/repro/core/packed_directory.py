@@ -237,6 +237,80 @@ class PackedProbeFilter:
         return (line_address >> self.line_shift) & self.set_mask
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of every mutable field of this filter.
+
+        Covers the flat arrays (tags, owners, sharer bitmasks, LRU
+        stamps), the global stamp counter, per-set PLRU words, the states
+        of all lazily created per-set RNGs (only the ones actually
+        consulted, preserving lazy-creation semantics), and the nine
+        stat counters.
+        """
+        return {
+            "tags": self.tags.tobytes(),
+            "owners": self.owners.tobytes(),
+            "sharer_bits": list(self.sharer_bits),
+            "stamps": self.stamps.tobytes(),
+            "stamp": self.stamp,
+            "plru_bits": list(self.plru_bits),
+            "rngs": {idx: rng.getstate() for idx, rng in self._rngs.items()},
+            "counters": (
+                self.lookups,
+                self.hits,
+                self.misses,
+                self.allocations,
+                self.evictions,
+                self.deallocations,
+                self.eviction_invalidations,
+                self.reads,
+                self.writes,
+            ),
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot in place.
+
+        Arrays are updated with equal-length slice assignment (never
+        reallocated) so any outside references to the backing buffers
+        stay valid.
+        """
+        tags = array("q")
+        tags.frombytes(state["tags"])
+        owners = array("q")
+        owners.frombytes(state["owners"])
+        stamps = array("q")
+        stamps.frombytes(state["stamps"])
+        if len(tags) != len(self.tags):
+            raise ConfigurationError(
+                f"probe filter {self.node_id}: checkpoint does not match "
+                f"this geometry"
+            )
+        self.tags[:] = tags
+        self.owners[:] = owners
+        self.sharer_bits[:] = state["sharer_bits"]
+        self.stamps[:] = stamps
+        self.stamp = state["stamp"]
+        self.plru_bits[:] = state["plru_bits"]
+        self._rngs.clear()
+        for idx, rng_state in state["rngs"].items():
+            rng = random.Random()
+            rng.setstate(rng_state)
+            self._rngs[idx] = rng
+        (
+            self.lookups,
+            self.hits,
+            self.misses,
+            self.allocations,
+            self.evictions,
+            self.deallocations,
+            self.eviction_invalidations,
+            self.reads,
+            self.writes,
+        ) = state["counters"]
+
+    # ------------------------------------------------------------------
     # Packed primitives (used by the fast path)
     # ------------------------------------------------------------------
     def find_slot(self, line_address: int) -> int:

@@ -38,3 +38,28 @@ def atomic_write_json(path: Union[str, Path], data: object) -> Path:
             pass
         raise
     return path
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Atomically write raw *data* to *path* (temp file + ``os.replace``).
+
+    The binary sibling of :func:`atomic_write_json`, used for engine
+    checkpoints: a kill mid-write must leave either the previous
+    checkpoint or no file at all, never a torn blob.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

@@ -153,6 +153,20 @@ class AccessChunk:
             self.pids[:count],
         )
 
+    def sliced(self, start: int, stop: int) -> "AccessChunk":
+        """Return a copy holding accesses ``[start, stop)``.
+
+        Used by the checkpointed replay loop to split a chunk exactly at
+        an epoch boundary; chunk boundaries never affect simulated state,
+        so splitting is bit-transparent.
+        """
+        return AccessChunk(
+            self.cores[start:stop],
+            self.vaddrs[start:stop],
+            self.types[start:stop],
+            self.pids[start:stop],
+        )
+
     def records(self) -> Iterator[AccessRecord]:
         """Materialise the chunk back into :class:`AccessRecord` tuples."""
         types = self.types
@@ -345,6 +359,21 @@ class BatchedMachine(PackedMachine):
         for pf in self._probe_filters:
             total += pf.evictions
         return total
+
+    def _after_restore(self) -> None:
+        """Invalidate restore-stale vector-path caches (checkpoint hook).
+
+        The numpy views bound by :meth:`_bind_vector_state` stay attached
+        (restore slice-assigns into the same buffers), but the
+        direct-mapped translation shadow holds ``(table_stats, mapping)``
+        object references from before the restore; committing counters
+        into those orphans would silently diverge the snapshot.  Clearing
+        the shadow forces re-installation from the restored memo.
+        """
+        if self._vector_ok:
+            self._tkeys[:] = -1
+            self._tframes[:] = 0
+            self._tstats[:] = [None] * _TBL
 
     # ------------------------------------------------------------------
     # Chunk entry point

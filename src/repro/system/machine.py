@@ -260,6 +260,28 @@ class Machine:
                 home.memory_controller.writeback_line(victim.line_address)
 
     # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> bytes:
+        """Serialize this machine's full mutable state to a blob.
+
+        The blob is versioned and digest-stamped; restoring it onto a
+        freshly built machine of the same configuration and engine via
+        :meth:`restore` continues the run bit-identically (the
+        ``snapshot_diff == []`` contract).  See
+        :mod:`repro.system.checkpoint` for the state inventory.
+        """
+        from repro.system.checkpoint import checkpoint_machine
+
+        return checkpoint_machine(self)
+
+    def restore(self, blob: bytes) -> None:
+        """Restore a :meth:`checkpoint` blob onto this machine, in place."""
+        from repro.system.checkpoint import restore_machine
+
+        restore_machine(self, blob)
+
+    # ------------------------------------------------------------------
     # Aggregate queries used by the statistics layer
     # ------------------------------------------------------------------
     def total_probe_filter_evictions(self) -> int:

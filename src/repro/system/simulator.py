@@ -13,10 +13,14 @@ how the paper reports Figure 3a.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from itertools import islice
+from pathlib import Path
+from typing import Iterable, Optional, Union
 
 from repro.errors import SimulationError
+from repro.ioutil import atomic_write_bytes
 from repro.stats.snapshot import MachineSnapshot, collect
+from repro.system.checkpoint import checkpoint_file_name
 from repro.system.config import SystemConfig
 from repro.system.fastcore import build_machine, resolve_engine
 from repro.system.machine import Machine
@@ -65,11 +69,29 @@ class Simulator:
         self._finished = False
 
     # ------------------------------------------------------------------
+    def restore(self, blob: bytes) -> None:
+        """Restore a machine checkpoint before :meth:`run` (resume support).
+
+        *blob* must have been produced by :meth:`Machine.checkpoint` on
+        an identically configured machine of the same engine (enforced
+        by the blob's config digest).  The subsequent :meth:`run` call
+        continues bit-identically from the checkpointed state, provided
+        the caller feeds it the remainder of the same access stream.
+        """
+        if self._finished:
+            raise SimulationError(
+                "simulator instances are single-use; build a new one"
+            )
+        self.machine.restore(blob)
+
     def run(
         self,
         accesses: Iterable[AccessRecord],
         workload_name: str = "",
         max_accesses: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_start: int = 0,
     ) -> SimulationResult:
         """Replay *accesses* to completion and return the result.
 
@@ -82,15 +104,56 @@ class Simulator:
         max_accesses:
             Optional cap on the number of records replayed, useful for
             smoke tests on long traces.
+        checkpoint_every:
+            With ``checkpoint_dir``, write an atomic machine checkpoint
+            (``epoch-<k>.ckpt``) after every *checkpoint_every* replayed
+            accesses.  Epoch boundaries split batched chunks exactly, so
+            checkpointed replay stays bit-identical to plain replay.
+        checkpoint_dir:
+            Directory receiving the epoch checkpoint files (created as
+            needed).
+        checkpoint_start:
+            Number of accesses already folded into the machine before
+            this call (a multiple of *checkpoint_every*): resumed runs
+            pass the resume offset here so epoch numbering continues
+            where the interrupted run left off.
         """
         if self._finished:
             raise SimulationError("simulator instances are single-use; build a new one")
-        if self.engine == "batched":
-            return self._run_batched(accesses, workload_name, max_accesses)
+        if checkpoint_every is not None:
+            count = self._replay_checkpointed(
+                accesses,
+                max_accesses,
+                checkpoint_every,
+                checkpoint_dir,
+                checkpoint_start,
+            )
+        elif self.engine == "batched":
+            count = self._replay_chunks(accesses, max_accesses)
+        else:
+            count = self._replay_records(accesses, max_accesses)
+        self._finished = True
+        snapshot = collect(self.machine)
+        return SimulationResult(
+            config=self.config,
+            snapshot=snapshot,
+            accesses_simulated=count,
+            workload_name=workload_name,
+            engine=self.engine,
+        )
 
-        # Replay loop: every per-record attribute chain is hoisted into a
-        # local so the loop body is dict-free.  This loop plus the
-        # machine's access fast path dominate sweep wall-clock time.
+    # ------------------------------------------------------------------
+    # Replay loops
+    # ------------------------------------------------------------------
+    def _replay_records(
+        self, accesses: Iterable[AccessRecord], max_accesses: Optional[int]
+    ) -> int:
+        """Reference/packed replay loop; returns the records consumed.
+
+        Every per-record attribute chain is hoisted into a local so the
+        loop body is dict-free.  This loop plus the machine's access
+        fast path dominate sweep wall-clock time.
+        """
         work_per_access = self.config.core.cpu_work_per_access_ns
         core_count = self.config.core_count
         clocks = [node.clock for node in self.machine.nodes]
@@ -122,23 +185,9 @@ class Simulator:
             clock.now_ns += latency
             clock.stall_ns += latency
             count += 1
+        return count
 
-        self._finished = True
-        snapshot = collect(self.machine)
-        return SimulationResult(
-            config=self.config,
-            snapshot=snapshot,
-            accesses_simulated=count,
-            workload_name=workload_name,
-            engine=self.engine,
-        )
-
-    def _run_batched(
-        self,
-        accesses,
-        workload_name: str,
-        max_accesses: Optional[int],
-    ) -> SimulationResult:
+    def _replay_chunks(self, accesses, max_accesses: Optional[int]) -> int:
         """Chunk-aware replay for the batched engine.
 
         *accesses* may be a plain record stream (packed into chunks on
@@ -160,15 +209,95 @@ class Simulator:
             count += machine.perform_chunk(
                 chunk, work_per_access, limit=remaining
             )
-        self._finished = True
-        snapshot = collect(self.machine)
-        return SimulationResult(
-            config=self.config,
-            snapshot=snapshot,
-            accesses_simulated=count,
-            workload_name=workload_name,
-            engine=self.engine,
+        return count
+
+    # ------------------------------------------------------------------
+    # Checkpointed replay
+    # ------------------------------------------------------------------
+    def _replay_checkpointed(
+        self,
+        accesses,
+        max_accesses: Optional[int],
+        every: int,
+        directory: Optional[Union[str, Path]],
+        start: int,
+    ) -> int:
+        if every <= 0:
+            raise SimulationError("checkpoint_every must be positive")
+        if directory is None:
+            raise SimulationError("checkpoint_every requires checkpoint_dir")
+        if start < 0 or start % every != 0:
+            raise SimulationError(
+                "checkpoint_start must be a non-negative multiple of "
+                "checkpoint_every (resume only from epoch boundaries)"
+            )
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if self.engine == "batched":
+            return self._replay_chunks_checkpointed(
+                accesses, max_accesses, every, directory, start
+            )
+        return self._replay_records_checkpointed(
+            accesses, max_accesses, every, directory, start
         )
+
+    def _write_checkpoint(self, directory: Path, epoch: int) -> Path:
+        return atomic_write_bytes(
+            directory / checkpoint_file_name(epoch), self.machine.checkpoint()
+        )
+
+    def _replay_records_checkpointed(
+        self, accesses, max_accesses, every, directory, start
+    ) -> int:
+        iterator = iter(accesses)
+        total = 0
+        while True:
+            take = (
+                every
+                if max_accesses is None
+                else min(every, max_accesses - total)
+            )
+            if take <= 0:
+                break
+            count = self._replay_records(islice(iterator, take), None)
+            total += count
+            if count == every:
+                self._write_checkpoint(directory, (start + total) // every)
+            if count < take:
+                break
+        return total
+
+    def _replay_chunks_checkpointed(
+        self, accesses, max_accesses, every, directory, start
+    ) -> int:
+        from repro.system.batchcore import iter_chunks
+
+        machine = self.machine
+        work_per_access = self.config.core.cpu_work_per_access_ns
+        total = 0
+        for chunk in iter_chunks(accesses, machine.chunk_records):
+            size = len(chunk)
+            position = 0
+            while position < size:
+                take = min(size - position, every - (total % every))
+                if max_accesses is not None:
+                    take = min(take, max_accesses - total)
+                    if take <= 0:
+                        return total
+                sub = (
+                    chunk
+                    if position == 0 and take == size
+                    else chunk.sliced(position, position + take)
+                )
+                total += machine.perform_chunk(
+                    sub, work_per_access, limit=take
+                )
+                position += take
+                if total % every == 0:
+                    self._write_checkpoint(directory, (start + total) // every)
+            if max_accesses is not None and total >= max_accesses:
+                break
+        return total
 
 
 def simulate(

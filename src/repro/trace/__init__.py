@@ -10,6 +10,7 @@ from repro.trace.binary import (
     read_trace_v2,
     read_trace_v3,
     read_trace_v3_chunks,
+    v3_epoch_index,
     write_trace_v2,
     write_trace_v3,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "read_trace_v3",
     "read_trace_v3_chunks",
     "sniff_format",
+    "v3_epoch_index",
     "write_trace",
     "write_trace_v2",
     "write_trace_v3",

@@ -481,6 +481,24 @@ DEFAULT_BLOCK_RECORDS = 8192
 #: column 8-byte aligned relative to the block start).
 _BLOCK_HEADER = struct.Struct("<II")
 
+# ----------------------------------------------------------------------
+# v3.1 epoch index (optional seekable footer)
+# ----------------------------------------------------------------------
+#: Marker opening the epoch-index footer and closing its trailer.
+EPOCH_INDEX_MAGIC = b"\x89RPT3EI\x1a"
+
+#: Fixed-size trailer at EOF: u64 footer byte length (from footer magic
+#: up to but excluding the trailer itself) + the marker again.  Readers
+#: discover the footer by seeking 16 bytes back from EOF, so a v3.1 file
+#: stays a valid v3 stream for block scanners that stop at the footer.
+_EPOCH_TRAILER = struct.Struct("<Q8s")
+
+#: Footer body layout: marker, u64 records-per-epoch, u64 epoch count,
+#: then per epoch a u64 byte offset of its first block and a u64 record
+#: count (the final epoch may hold fewer than records-per-epoch).
+_EPOCH_FOOTER_HEAD = struct.Struct("<8sQQ")
+_EPOCH_ENTRY = struct.Struct("<QQ")
+
 
 def _require_numpy():
     """Return numpy, or None when absent or explicitly disabled."""
@@ -521,15 +539,38 @@ class BlockedTraceWriter:
 
     Cores and process ids must fit a byte — true of every machine this
     harness models; the writer raises :class:`WorkloadError` otherwise.
+
+    With ``epoch_records`` (v3.1), the writer additionally appends a
+    seekable epoch-index footer on :meth:`close`: every *epoch_records*
+    records start a new epoch, and the footer records each epoch's first
+    block byte offset and record count so readers can decode any epoch
+    range without scanning the blocks before it.  Epoch boundaries must
+    coincide with block boundaries, so *epoch_records* must be a
+    positive multiple of *block_records*.  The footer lives after the
+    last block with a fixed-size trailer at EOF; v3.0 readers of this
+    harness stop at the footer, and footer-less files stay fully
+    readable.
     """
 
     def __init__(
-        self, path: PathLike, block_records: int = DEFAULT_BLOCK_RECORDS
+        self,
+        path: PathLike,
+        block_records: int = DEFAULT_BLOCK_RECORDS,
+        epoch_records: Optional[int] = None,
     ) -> None:
         if block_records <= 0:
             raise WorkloadError("block_records must be positive")
+        if epoch_records is not None and (
+            epoch_records <= 0 or epoch_records % block_records != 0
+        ):
+            raise WorkloadError(
+                f"epoch_records ({epoch_records}) must be a positive "
+                f"multiple of block_records ({block_records}) so epoch "
+                f"boundaries fall on block boundaries"
+            )
         self.path = Path(path)
         self.block_records = block_records
+        self.epoch_records = epoch_records
         self._handle = self.path.open("wb")
         self._handle.write(TRACE_V3_MAGIC)
         self._handle.write(_COUNT_UNKNOWN.to_bytes(8, "little"))
@@ -538,6 +579,8 @@ class BlockedTraceWriter:
         self._cores = bytearray()
         self._pids = bytearray()
         self._types = bytearray()
+        self._write_offset = HEADER_SIZE
+        self._epochs: List[List[int]] = []  # [first-block offset, records]
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -579,7 +622,14 @@ class BlockedTraceWriter:
         block += self._pids
         block += self._types
         block += b"\x00" * (-len(block) % 8)
+        if self.epoch_records is not None:
+            # Blocks flush at exactly block_records (epoch_records is a
+            # multiple of it), so a new epoch always starts on a block.
+            if not self._epochs or self._epochs[-1][1] >= self.epoch_records:
+                self._epochs.append([self._write_offset, 0])
+            self._epochs[-1][1] += n
         self._handle.write(block)
+        self._write_offset += len(block)
         self._addrs.clear()
         self._cores.clear()
         self._pids.clear()
@@ -592,12 +642,29 @@ class BlockedTraceWriter:
         return self._count
 
     def close(self) -> None:
-        """Flush, patch the header record count and close the file."""
+        """Flush, append the epoch footer (v3.1), patch the count, close.
+
+        The footer and the header count are the last things written, so
+        a writer killed mid-stream leaves a footer-less file with the
+        unknown-count sentinel — readers fall back to a full block scan.
+        """
         if self._closed:
             return
         self._closed = True
         try:
             self._flush_block()
+            if self.epoch_records is not None:
+                footer = bytearray(
+                    _EPOCH_FOOTER_HEAD.pack(
+                        EPOCH_INDEX_MAGIC, self.epoch_records, len(self._epochs)
+                    )
+                )
+                for offset, records in self._epochs:
+                    footer += _EPOCH_ENTRY.pack(offset, records)
+                self._handle.write(footer)
+                self._handle.write(
+                    _EPOCH_TRAILER.pack(len(footer), EPOCH_INDEX_MAGIC)
+                )
             self._handle.seek(_COUNT_OFFSET)
             self._handle.write(self._count.to_bytes(8, "little"))
         finally:
@@ -614,11 +681,14 @@ def write_trace_v3(
     path: PathLike,
     records: Iterable[AccessRecord],
     block_records: int = DEFAULT_BLOCK_RECORDS,
+    epoch_records: Optional[int] = None,
 ) -> int:
     """Write *records* to *path* in blocked columnar v3; return the count.
 
     Atomic like :func:`write_trace_v2`: encoded into a sibling temporary
-    file and renamed over *path* only once complete.
+    file and renamed over *path* only once complete.  Passing
+    ``epoch_records`` appends the v3.1 seekable epoch-index footer (see
+    :class:`BlockedTraceWriter`).
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -627,7 +697,9 @@ def write_trace_v3(
     )
     os.close(fd)
     try:
-        with BlockedTraceWriter(tmp_name, block_records=block_records) as writer:
+        with BlockedTraceWriter(
+            tmp_name, block_records=block_records, epoch_records=epoch_records
+        ) as writer:
             count = writer.write_all(records)
         os.replace(tmp_name, target)
     except BaseException:
@@ -639,10 +711,88 @@ def write_trace_v3(
     return count
 
 
-def _iter_v3_blocks(data: bytes, source: Path) -> Iterator[Tuple[int, int, int]]:
-    """Yield ``(offset_of_addrs, n, next_block_offset)`` per v3 block."""
-    pos = HEADER_SIZE
+def _v3_layout(
+    data: bytes, source: Path
+) -> Tuple[int, int, Optional[List[Tuple[int, int]]]]:
+    """Locate the optional v3.1 epoch-index footer.
+
+    Returns ``(blocks_end, epoch_records, entries)``: the byte offset
+    where the block region ends (EOF for footer-less files), the
+    records-per-epoch the footer was written with (0 without a footer)
+    and the per-epoch ``(first_block_offset, record_count)`` table
+    (``None`` without a footer).  A present-but-inconsistent footer
+    raises :class:`WorkloadError` rather than silently scanning garbage.
+    """
     end = len(data)
+    if end < HEADER_SIZE + _EPOCH_TRAILER.size:
+        return end, 0, None
+    footer_size, marker = _EPOCH_TRAILER.unpack_from(data, end - _EPOCH_TRAILER.size)
+    if marker != EPOCH_INDEX_MAGIC:
+        return end, 0, None
+    footer_start = end - _EPOCH_TRAILER.size - footer_size
+    if (
+        footer_size < _EPOCH_FOOTER_HEAD.size
+        or footer_start < HEADER_SIZE
+        or data[footer_start : footer_start + 8] != EPOCH_INDEX_MAGIC
+    ):
+        raise WorkloadError(
+            f"{source}: corrupt epoch-index footer (trailer points "
+            f"{footer_size} bytes back but no footer marker is there); "
+            f"re-record the trace to repair the index"
+        )
+    _marker, epoch_records, count = _EPOCH_FOOTER_HEAD.unpack_from(
+        data, footer_start
+    )
+    expected_size = _EPOCH_FOOTER_HEAD.size + count * _EPOCH_ENTRY.size
+    if footer_size != expected_size:
+        raise WorkloadError(
+            f"{source}: corrupt epoch-index footer ({count} epochs need "
+            f"{expected_size} bytes, trailer says {footer_size})"
+        )
+    entries = [
+        (offset, records)
+        for offset, records in _EPOCH_ENTRY.iter_unpack(
+            data[footer_start + _EPOCH_FOOTER_HEAD.size : footer_start + footer_size]
+        )
+    ]
+    return footer_start, epoch_records, entries
+
+
+def v3_epoch_index(path: PathLike) -> Optional[Dict[str, object]]:
+    """Return the epoch index of a v3.1 trace, or None for plain v3.
+
+    The index is ``{"epoch_records": N, "entries": [(offset, records),
+    ...]}`` — one entry per epoch, in trace order.  Sharded replay uses
+    it to map checkpoint epochs to byte ranges without scanning.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise WorkloadError(f"trace file {source} does not exist")
+    data = source.read_bytes()
+    if not data.startswith(TRACE_V3_MAGIC):
+        raise WorkloadError(f"{source}: not a v3 blocked trace (bad magic)")
+    _blocks_end, epoch_records, entries = _v3_layout(data, source)
+    if entries is None:
+        return None
+    return {"epoch_records": epoch_records, "entries": entries}
+
+
+def _iter_v3_blocks(
+    data: bytes,
+    source: Path,
+    start: int = HEADER_SIZE,
+    end: Optional[int] = None,
+) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(offset_of_addrs, n, next_block_offset)`` per v3 block.
+
+    *start*/*end* bound the scan to a byte range of whole blocks — the
+    epoch-sliced read path passes offsets straight from the footer, and
+    full scans pass the block-region end so the footer itself is never
+    misread as a block.
+    """
+    pos = start
+    if end is None:
+        end = len(data)
     index = 0
     while pos < end:
         if end - pos < _BLOCK_HEADER.size:
@@ -666,13 +816,23 @@ def _iter_v3_blocks(data: bytes, source: Path) -> Iterator[Tuple[int, int, int]]
         index += 1
 
 
-def read_trace_v3_chunks(path: PathLike):
+def read_trace_v3_chunks(
+    path: PathLike,
+    start_epoch: Optional[int] = None,
+    end_epoch: Optional[int] = None,
+):
     """Yield the blocks of a v3 trace as ``AccessChunk`` column sets.
 
     This is the batched engine's native ingestion path: with numpy, each
     block decodes with four zero-copy buffer views; without it, with
     ``array``/``memoryview`` reinterpretation — either way no per-record
     Python object is created.
+
+    ``start_epoch``/``end_epoch`` (inclusive/exclusive) restrict the
+    read to an epoch range of a v3.1 trace: the epoch-index footer maps
+    the range to a byte span, so a shard worker decodes only the blocks
+    it replays.  Requesting an epoch range on a trace without an epoch
+    index raises :class:`WorkloadError`.
     """
     # Imported lazily: repro.trace.__init__ imports this module, and
     # batchcore imports repro.trace.record, so a module-level import
@@ -688,9 +848,33 @@ def read_trace_v3_chunks(path: PathLike):
     if not data.startswith(TRACE_V3_MAGIC):
         raise WorkloadError(f"{source}: not a v3 blocked trace (bad magic)")
     stored = int.from_bytes(data[_COUNT_OFFSET:HEADER_SIZE], "little")
+    blocks_end, _epoch_records, entries = _v3_layout(data, source)
+    if start_epoch is None and end_epoch is None:
+        scan_start, scan_end = HEADER_SIZE, blocks_end
+        expected = None if stored == _COUNT_UNKNOWN else stored
+        promise = "header"
+    else:
+        if entries is None:
+            raise WorkloadError(
+                f"{source}: epoch range requested but the trace has no "
+                f"epoch index; re-record it with epoch_records set "
+                f"(trace record --epoch-records) to enable sharded replay"
+            )
+        epochs = len(entries)
+        lo = 0 if start_epoch is None else start_epoch
+        hi = epochs if end_epoch is None else end_epoch
+        if not 0 <= lo <= hi <= epochs:
+            raise WorkloadError(
+                f"{source}: epoch range [{lo}, {hi}) outside the trace's "
+                f"{epochs} epochs"
+            )
+        scan_start = entries[lo][0] if lo < epochs else blocks_end
+        scan_end = entries[hi][0] if hi < epochs else blocks_end
+        expected = sum(records for _offset, records in entries[lo:hi])
+        promise = "epoch index"
     np = _require_numpy()
     total = 0
-    for body, n, _next_pos in _iter_v3_blocks(data, source):
+    for body, n, _next_pos in _iter_v3_blocks(data, source, scan_start, scan_end):
         addrs = array("q")
         addrs.frombytes(data[body : body + 8 * n])
         if sys.byteorder != "little":  # pragma: no cover - exotic hosts
@@ -721,10 +905,10 @@ def read_trace_v3_chunks(path: PathLike):
             )
         total += n
         yield AccessChunk(cores, addrs, types, pids)
-    if stored != _COUNT_UNKNOWN and total != stored:
+    if expected is not None and total != expected:
         raise WorkloadError(
-            f"{source}: header promises {stored} records but the file "
-            f"holds {total}"
+            f"{source}: {promise} promises {expected} records but the "
+            f"file holds {total}"
         )
 
 
@@ -740,12 +924,17 @@ def v3_block_stats(path: PathLike) -> Dict[str, float]:
     data = source.read_bytes()
     if not data.startswith(TRACE_V3_MAGIC):
         raise WorkloadError(f"{source}: not a v3 blocked trace (bad magic)")
-    sizes = [n for _body, n, _next in _iter_v3_blocks(data, source)]
+    blocks_end, epoch_records, entries = _v3_layout(data, source)
+    sizes = [
+        n for _body, n, _next in _iter_v3_blocks(data, source, end=blocks_end)
+    ]
     records = sum(sizes)
     return {
         "blocks": len(sizes),
         "records_per_block": records / len(sizes) if sizes else 0.0,
         "max_block_records": max(sizes) if sizes else 0,
+        "epochs": len(entries) if entries is not None else 0,
+        "epoch_records": epoch_records,
     }
 
 
@@ -779,6 +968,10 @@ class TraceInfo:
     blocks: int = 0
     #: Average records per block/chunk.
     records_per_block: float = 0.0
+    #: Epochs in the v3.1 seekable index; 0 when the trace has none.
+    epochs: int = 0
+    #: Records per full epoch the index was written with (0 without one).
+    epoch_records: int = 0
     #: Decode throughput of the inspection scan itself, in MB/s.
     decode_mb_s: float = 0.0
 
@@ -820,9 +1013,13 @@ def inspect_trace(path: PathLike) -> TraceInfo:
         stats = v3_block_stats(source)
         blocks = int(stats["blocks"])
         records_per_block = stats["records_per_block"]
+        epochs = int(stats["epochs"])
+        epoch_records = int(stats["epoch_records"])
     else:
         blocks = -(-count // DEFAULT_BLOCK_RECORDS) if count else 0
         records_per_block = count / blocks if blocks else 0.0
+        epochs = 0
+        epoch_records = 0
     return TraceInfo(
         path=str(source),
         format=fmt,
@@ -839,5 +1036,7 @@ def inspect_trace(path: PathLike) -> TraceInfo:
         },
         blocks=blocks,
         records_per_block=records_per_block,
+        epochs=epochs,
+        epoch_records=epoch_records,
         decode_mb_s=(file_bytes / elapsed / 1e6) if elapsed > 0 else 0.0,
     )

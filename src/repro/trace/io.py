@@ -27,7 +27,7 @@ by packing for v1/v2) for the batched engine.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.errors import WorkloadError
 from repro.trace.binary import (
@@ -77,18 +77,27 @@ def sniff_format(path: PathLike) -> str:
 
 
 def write_trace(
-    path: PathLike, records: Iterable[AccessRecord], format: str = FORMAT_TEXT
+    path: PathLike,
+    records: Iterable[AccessRecord],
+    format: str = FORMAT_TEXT,
+    epoch_records: Optional[int] = None,
 ) -> int:
     """Write *records* to *path*; return the number of records written.
 
     *format* selects v1 ``"text"`` (the default, interoperable), v2
     ``"binary"`` (compact) or v3 ``"blocked"`` (columnar, fastest to
-    replay).
+    replay).  *epoch_records* (blocked only) adds the v3.1 seekable
+    epoch index that sharded replay needs.
     """
+    if epoch_records is not None and format != FORMAT_BLOCKED:
+        raise WorkloadError(
+            f"epoch_records requires the {FORMAT_BLOCKED!r} format; "
+            f"the sequential formats cannot be seeked by epoch"
+        )
     if format == FORMAT_BINARY:
         return write_trace_v2(path, records)
     if format == FORMAT_BLOCKED:
-        return write_trace_v3(path, records)
+        return write_trace_v3(path, records, epoch_records=epoch_records)
     if format != FORMAT_TEXT:
         raise WorkloadError(
             f"unknown trace format {format!r}; expected {FORMAT_TEXT!r}, "

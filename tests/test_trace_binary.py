@@ -29,6 +29,7 @@ from repro.trace.binary import (
     read_trace_v2,
     stored_record_count,
     v3_block_stats,
+    v3_epoch_index,
 )
 from repro.trace.record import AccessRecord, AccessType
 from repro.workloads.base import SyntheticWorkload
@@ -239,6 +240,58 @@ class TestReplayVsGenerate:
             assert left.spec == right.spec
             assert left.snapshot.to_dict() == right.snapshot.to_dict()
 
+    def test_batched_sweep_records_blocked_traces(self, tmp_path):
+        """Regression: a batched sweep must auto-record v3, not slow v2.
+
+        The executor used to record auto-captured traces in the v2 format
+        unconditionally, so batched-engine sweeps silently replayed
+        through the per-record path instead of the chunk kernel.
+        """
+        from repro.analysis.executor import SOURCE_REPLAYED, SweepExecutor
+        from repro.analysis.plan import figure3_plan
+
+        plan = figure3_plan(TINY, benchmarks=["barnes"]).with_engine("batched")
+        trace_dir = tmp_path / "traces"
+        recorded = SweepExecutor(
+            trace_dir=trace_dir, record_traces=True
+        ).run_plan(plan)
+        assert all(r.source == SOURCE_REPLAYED for r in recorded.results)
+        assert list(trace_dir.glob("*.rpt2")) == []
+        blocked = list(trace_dir.glob("*.rpt3"))
+        assert len(blocked) == 1
+        assert sniff_format(blocked[0]) == FORMAT_BLOCKED
+        generated = SweepExecutor().run_plan(plan)
+        for left, right in zip(recorded.results, generated.results):
+            assert left.snapshot.to_dict() == right.snapshot.to_dict()
+
+    def test_trace_format_override_and_defaults(self, tmp_path):
+        from repro.analysis.executor import SweepExecutor, trace_file_name
+        from repro.errors import ConfigurationError
+
+        spec = RunSpec("barnes", "allarm", settings=TINY)
+        batched = spec.with_engine("batched")
+        executor = SweepExecutor()
+        assert executor.trace_format_for(spec) == "binary"
+        assert executor.trace_format_for(batched) == "blocked"
+        forced = SweepExecutor(trace_format="blocked")
+        assert forced.trace_format_for(spec) == "blocked"
+        assert trace_file_name(spec).endswith(".rpt2")
+        assert trace_file_name(spec, format="blocked").endswith(".rpt3")
+        with pytest.raises(ConfigurationError, match="trace format"):
+            SweepExecutor(trace_format="parquet")
+        with pytest.raises(ConfigurationError, match="trace format"):
+            trace_file_name(spec, format="parquet")
+
+    def test_record_guards_against_suffix_format_mismatch(self, tmp_path):
+        from repro.analysis.executor import record_spec_trace
+        from repro.errors import ConfigurationError
+
+        spec = RunSpec("barnes", "allarm", settings=TINY)
+        with pytest.raises(ConfigurationError, match="suffix"):
+            record_spec_trace(spec, tmp_path / "t.rpt2", format="blocked")
+        with pytest.raises(ConfigurationError, match="suffix"):
+            record_spec_trace(spec, tmp_path / "t.rpt3", format="binary")
+
     def test_trace_source_changes_cache_identity(self, tmp_path):
         spec = RunSpec("barnes", "allarm", settings=TINY)
         traced = spec.with_trace(tmp_path / "t.rpt2")
@@ -414,6 +467,151 @@ class TestBlockedV3Errors:
         path.write_bytes(bytes(data))
         with pytest.raises(WorkloadError, match="promises 5 records"):
             list(read_trace_v3(path))
+
+
+class TestEpochIndexV31:
+    """v3.1 seekable epoch footer: round-trip, slicing, corruption."""
+
+    BLOCK = 64
+    EPOCH = 128
+
+    def _write(self, tmp_path, accesses=1000):
+        records = workload_records(accesses=accesses)
+        path = tmp_path / "t.rpt3"
+        write_trace_v3(
+            path, records, block_records=self.BLOCK, epoch_records=self.EPOCH
+        )
+        return path, records
+
+    def test_indexed_trace_round_trips_with_index_intact(self, tmp_path):
+        path, records = self._write(tmp_path)
+        epochs = -(-len(records) // self.EPOCH)
+        assert list(read_trace_v3(path)) == records
+        assert list(read_trace(path)) == records
+        assert count_records(path) == len(records)
+        index = v3_epoch_index(path)
+        assert index["epoch_records"] == self.EPOCH
+        assert len(index["entries"]) == epochs
+        assert sum(n for _, n in index["entries"]) == len(records)
+        info = inspect_trace(path)
+        assert info.epochs == epochs
+        assert info.epoch_records == self.EPOCH
+
+    def test_epoch_slices_partition_the_stream(self, tmp_path):
+        path, records = self._write(tmp_path)
+        epochs = -(-len(records) // self.EPOCH)
+        for k in range(epochs):
+            chunks = list(
+                read_trace_v3_chunks(path, start_epoch=k, end_epoch=k + 1)
+            )
+            vaddrs = [v for chunk in chunks for v in chunk.vaddrs]
+            span = records[k * self.EPOCH : (k + 1) * self.EPOCH]
+            assert vaddrs == [r.vaddr for r in span]
+        # A multi-epoch tail slice decodes without scanning the prefix.
+        tail = list(read_trace_v3_chunks(path, start_epoch=epochs - 2))
+        assert sum(len(c) for c in tail) == len(
+            records[(epochs - 2) * self.EPOCH :]
+        )
+        # The empty slice at the end is legal and empty.
+        assert list(
+            read_trace_v3_chunks(path, start_epoch=epochs, end_epoch=epochs)
+        ) == []
+
+    def test_slicing_unindexed_trace_names_the_fix(self, tmp_path):
+        path = tmp_path / "plain.rpt3"
+        write_trace_v3(path, workload_records(accesses=300), block_records=64)
+        assert v3_epoch_index(path) is None
+        with pytest.raises(WorkloadError, match="epoch_records"):
+            list(read_trace_v3_chunks(path, start_epoch=1))
+
+    def test_out_of_range_slice_rejected(self, tmp_path):
+        path, records = self._write(tmp_path)
+        epochs = -(-len(records) // self.EPOCH)
+        with pytest.raises(WorkloadError, match="epoch"):
+            list(read_trace_v3_chunks(path, start_epoch=epochs + 1))
+        with pytest.raises(WorkloadError, match="epoch"):
+            list(read_trace_v3_chunks(path, start_epoch=2, end_epoch=1))
+
+    def test_writer_rejects_epoch_not_on_block_boundary(self, tmp_path):
+        with pytest.raises(WorkloadError, match="multiple"):
+            BlockedTraceWriter(
+                tmp_path / "t.rpt3", block_records=64, epoch_records=100
+            )
+
+    def test_corrupt_footer_is_a_clean_error(self, tmp_path):
+        path, _records = self._write(tmp_path)
+        data = bytearray(path.read_bytes())
+        # Lie about the footer length in the EOF trailer.
+        data[-16:-8] = (7).to_bytes(8, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(WorkloadError, match="footer"):
+            v3_epoch_index(path)
+        with pytest.raises(WorkloadError, match="footer"):
+            list(read_trace_v3_chunks(path))
+
+
+class TestTornAndUnclosedFiles:
+    """Crash robustness: killed writers and torn files degrade cleanly."""
+
+    def test_unclosed_v2_count_falls_back_to_scan(self, tmp_path):
+        records = workload_records(accesses=400)
+        path = tmp_path / "t.rpt2"
+        write_trace_v2(path, records)
+        # Rewind the header count to the unknown sentinel — exactly what a
+        # writer killed after its last flush leaves behind.
+        data = bytearray(path.read_bytes())
+        data[8:16] = b"\xff" * 8
+        path.write_bytes(bytes(data))
+        assert stored_record_count(path) == -1
+        assert count_records(path) == len(records)
+        assert list(read_trace(path)) == records
+
+    def test_writer_killed_between_flush_and_close(self, tmp_path):
+        import os
+
+        records = workload_records(accesses=640)
+        path = tmp_path / "t.rpt3"
+        writer = BlockedTraceWriter(path, block_records=64, epoch_records=128)
+        for record in records:
+            writer.write(record)
+        # Simulate SIGKILL after the last block hit the disk but before
+        # close(): flush the buffered block, then drop the handle without
+        # running close() — no footer, no count patch.
+        writer._flush_block()
+        writer._handle.flush()
+        os.close(writer._handle.fileno())
+
+        assert sniff_format(path) == FORMAT_BLOCKED
+        assert stored_record_count(path) == -1  # sentinel, never patched
+        assert count_records(path) == len(records)  # full-scan fallback
+        assert list(read_trace(path)) == records
+        assert v3_epoch_index(path) is None  # footer was never written
+        with pytest.raises(WorkloadError, match="epoch_records"):
+            list(read_trace_v3_chunks(path, start_epoch=1))
+
+    def test_torn_v2_file_raises_without_traceback_noise(self, tmp_path):
+        records = workload_records(accesses=400)
+        path = tmp_path / "t.rpt2"
+        write_trace_v2(path, records)
+        data = bytearray(path.read_bytes())
+        data = data[: len(data) - 5]  # tear mid-record
+        data[8:16] = b"\xff" * 8  # and the count was never patched
+        path.write_bytes(bytes(data))
+        with pytest.raises(WorkloadError):
+            count_records(path)
+        with pytest.raises(WorkloadError):
+            list(read_trace(path))
+
+    def test_torn_v3_block_raises_cleanly_from_count(self, tmp_path):
+        records = workload_records(accesses=400)
+        path = tmp_path / "t.rpt3"
+        write_trace_v3(path, records, block_records=64)
+        data = bytearray(path.read_bytes())
+        data = data[: len(data) - 9]  # tear inside the final block
+        data[8:16] = b"\xff" * 8
+        path.write_bytes(bytes(data))
+        with pytest.raises(WorkloadError, match="truncated"):
+            count_records(path)
 
 
 class TestBlockedReplay:
