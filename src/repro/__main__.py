@@ -41,6 +41,8 @@ Examples
 
     python -m repro sweep --plan fig3 --workers 4 --cache-dir .repro-cache
     python -m repro sweep --plan fig3 --engine reference --cache-dir .repro-cache
+    python -m repro sweep --plan all --workers 4 --retries 2 \\
+        --run-timeout 300 --keep-going
     python -m repro sweep --plan fig3 --trace-dir .repro-traces --record-traces
     python -m repro trace record --plan micro --trace-dir .repro-traces
     python -m repro trace record --plan micro --trace-dir .repro-traces \\
@@ -79,7 +81,8 @@ from repro.analysis.plan import (
     ExperimentSettings,
     build_plan,
 )
-from repro.errors import ReproError
+from repro.analysis.retrypool import RetryPolicy
+from repro.errors import ExecutionError, ReproError
 from repro.system.fastcore import DEFAULT_ENGINE, ENGINES
 from repro.version import version_string
 
@@ -140,6 +143,46 @@ def format_outcome_summary(outcome: SweepOutcome) -> str:
     )
 
 
+def _retry_policy_from_args(args: argparse.Namespace) -> RetryPolicy:
+    """Build the run-level retry policy from the shared CLI flags."""
+    return RetryPolicy(
+        max_attempts=max(1, args.retries + 1),
+        base_delay_s=args.retry_delay,
+        timeout_s=args.run_timeout,
+    )
+
+
+def format_failures(outcome: SweepOutcome) -> str:
+    """Render a sweep's permanent failures, one line each."""
+    lines = []
+    for failure in outcome.failures:
+        spec = failure.spec
+        lines.append(
+            f"FAILED {spec.workload_name} {spec.policy} "
+            f"pf{spec.pf_size // 1024}kB — {failure.kind} after "
+            f"{failure.attempts} attempt(s): {failure.error}"
+        )
+    return "\n".join(lines)
+
+
+def _report_sweep_outcome(outcome: SweepOutcome) -> int:
+    """Print a finished (possibly partial) outcome; return the exit code."""
+    print(format_outcome_table(outcome))
+    if outcome.retries or outcome.timeouts or outcome.pool_rebuilds:
+        print(
+            f"fault tolerance: {outcome.retries} retries, "
+            f"{outcome.timeouts} timeouts, "
+            f"{outcome.pool_rebuilds} pool rebuilds"
+        )
+    if outcome.failures:
+        print(format_failures(outcome), file=sys.stderr)
+    print(format_outcome_summary(outcome))
+    if outcome.interrupted:
+        print("interrupted: partial results above", file=sys.stderr)
+        return 130
+    return 1 if outcome.failures else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     settings = _settings_from_args(args)
     benchmarks = _parse_benchmarks(args.benchmarks)
@@ -153,6 +196,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         record_traces=args.record_traces,
         trace_format=args.trace_format,
+        retry=_retry_policy_from_args(args),
+        keep_going=args.keep_going,
     )
 
     engines = sorted({spec.engine for spec in plan})
@@ -162,9 +207,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"cache={'off' if cache_dir is None else cache_dir}, "
         f"traces={'off' if args.trace_dir is None else args.trace_dir}"
     )
-    outcome = executor.run_plan(plan)
-    print(format_outcome_table(outcome))
-    print(format_outcome_summary(outcome))
+    try:
+        outcome = executor.run_plan(plan)
+    except ExecutionError as exc:
+        # The partial outcome still carries every run that finished.
+        if exc.outcome is not None:
+            code = _report_sweep_outcome(exc.outcome)
+        else:
+            code = 1
+        print(f"error: {exc}", file=sys.stderr)
+        return code or 1
+    code = _report_sweep_outcome(outcome)
+    if code:
+        return code
 
     if args.min_cache_fraction is not None:
         if outcome.cached_fraction < args.min_cache_fraction:
@@ -304,6 +359,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         nominal_probe_filter_coverage=args.pf_size,
         **overrides,
     )
+    retry = _retry_policy_from_args(args)
     started = time.perf_counter()
     if args.shards > 1:
         outcome = replay_sharded(
@@ -312,6 +368,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             shards=args.shards,
             checkpoint_dir=args.checkpoint_dir,
             engine=args.engine,
+            retry=retry,
         )
         elapsed = time.perf_counter() - started
         rate = outcome.accesses_simulated / elapsed if elapsed > 0 else 0.0
@@ -335,6 +392,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             engine=args.engine,
             resume=args.resume,
+            retry=retry,
         )
         elapsed = time.perf_counter() - started
         replayed = result.accesses_simulated
@@ -409,6 +467,37 @@ def _cmd_version(_: argparse.Namespace) -> int:
     return 0
 
 
+def _add_retry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared fault-tolerance flags (``sweep`` and ``replay``)."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "retry each failed run up to this many times with exponential "
+            "backoff (default: 0, fail on the first error)"
+        ),
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "kill any pooled run exceeding this many seconds of wall clock "
+            "and charge it a retry attempt (default: no deadline; serial "
+            "checkpointed replay cannot be deadlined)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-delay",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="base of the exponential retry backoff in seconds (default: 0)",
+    )
+
+
 def _add_settings_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--benchmarks",
@@ -479,6 +568,15 @@ def build_parser() -> argparse.ArgumentParser:
             f"(default: {DEFAULT_ENGINE}; engines are verified bit-identical)"
         ),
     )
+    sweep.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "on a permanently failed run, record the failure and finish "
+            "the rest of the grid instead of aborting (exit code 1)"
+        ),
+    )
+    _add_retry_arguments(sweep)
     _add_settings_arguments(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -619,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"simulation engine (default: {DEFAULT_ENGINE})",
     )
+    _add_retry_arguments(sharded)
     sharded.set_defaults(func=_cmd_replay)
 
     golden = subparsers.add_parser(

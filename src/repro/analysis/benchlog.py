@@ -150,9 +150,13 @@ def validate_entry(entry: Dict[str, object]) -> None:
     Entries declaring ``bench: "sharded"`` carry the sharded-replay
     shape: positive integers ``shards`` and ``epoch_records`` plus a
     positive ``speedup`` (sharded wall-clock over single-process
-    wall-clock for the same replay).  Raises :class:`ValueError` naming
-    the offending field, so a malformed bench fails loudly instead of
-    poisoning the persisted trajectory.
+    wall-clock for the same replay).  Entries declaring
+    ``bench: "faults"`` carry the chaos-run shape: non-negative integer
+    ``retries``, ``timeouts`` and ``quarantines`` counters — what the
+    fault-tolerance machinery had to absorb for the run to finish
+    bit-identical.  Raises :class:`ValueError` naming the offending
+    field, so a malformed bench fails loudly instead of poisoning the
+    persisted trajectory.
     """
     if not isinstance(entry, dict) or not entry:
         raise ValueError("bench entry must be a non-empty dict")
@@ -198,6 +202,15 @@ def validate_entry(entry: Dict[str, object]) -> None:
                 "sharded bench entry needs a positive 'speedup' "
                 f"(got {speedup!r})"
             )
+    if entry.get("bench") == "faults":
+        for key in ("retries", "timeouts", "quarantines"):
+            value = entry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                raise ValueError(
+                    f"faults bench entry needs a non-negative integer {key!r} "
+                    f"(got {value!r})"
+                )
 
 
 #: Sentinel distinguishing "file exists but is not JSON" from "no file".

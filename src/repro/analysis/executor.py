@@ -32,15 +32,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro import faults
 from repro.analysis.plan import RunSpec, SweepPlan
-from repro.errors import ConfigurationError
+from repro.analysis.retrypool import RetryPolicy, run_tasks
+from repro.errors import ConfigurationError, ExecutionError
+from repro.ioutil import atomic_write_json
 from repro.stats.snapshot import SNAPSHOT_SCHEMA_VERSION, MachineSnapshot
 from repro.system.simulator import simulate
 from repro.trace.binary import write_trace_v2
@@ -95,8 +96,20 @@ def execute_run_spec(spec: RunSpec) -> MachineSnapshot:
     return result.snapshot
 
 
-def _timed_execute(spec: RunSpec):
-    """Pool worker body: execute a spec and report its simulation time."""
+def _sweep_fault_key(index: int, spec: RunSpec) -> str:
+    """The ``sweep.run`` fault-site key naming one pending run."""
+    return f"#{index}:{spec.workload_name}:{spec.policy}:pf{spec.pf_size}"
+
+
+def _run_task(task):
+    """Pool worker body: execute one pending spec, timed.
+
+    *task* is ``(index, effective_spec)``.  The :func:`faults.fire` call
+    is the chaos hook standing in for real worker failures — with no
+    plan installed it is a no-op.
+    """
+    index, spec = task
+    faults.fire("sweep.run", key=_sweep_fault_key(index, spec))
     started = time.perf_counter()
     snapshot = execute_run_spec(spec)
     return snapshot, time.perf_counter() - started
@@ -201,6 +214,15 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalid: int = 0
+    quarantined: int = 0
+
+
+def _snapshot_digest(snapshot_dict: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON of a snapshot dict."""
+    canonical = json.dumps(
+        snapshot_dict, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class SnapshotCache:
@@ -208,10 +230,17 @@ class SnapshotCache:
 
     Layout: ``<root>/<key[:2]>/<key>.json`` where *key* is
     :func:`cache_key`'s SHA-256 hex digest.  Each file holds the snapshot
-    plus the originating spec description, so the cache directory is
-    self-describing.  Writes are atomic (temp file + ``os.replace``) so
-    concurrent executors never observe torn entries; corrupt or
-    stale-schema files are treated as misses.
+    plus the originating spec description and a ``sha256`` digest of the
+    snapshot payload, so the cache directory is self-describing and
+    every load is verified end-to-end.  Writes are atomic (temp file +
+    ``os.replace``) so concurrent executors never observe torn entries.
+
+    The cache is self-healing: an entry that fails to parse or whose
+    digest disagrees with its payload is *quarantined* — renamed to
+    ``<key>.json.corrupt`` and counted in ``stats.quarantined`` — so a
+    damaged file is inspected once, preserved for forensics, and never
+    re-read on subsequent loads (previously it sat in place and was
+    re-parsed and re-rejected forever).
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -225,8 +254,21 @@ class SnapshotCache:
         key = cache_key(spec)
         return self.root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside as ``<name>.corrupt``."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return  # racing loader already moved it; nothing to preserve
+        self.stats.quarantined += 1
+
     def load(self, spec: RunSpec) -> Optional[MachineSnapshot]:
-        """Return the cached snapshot for *spec*, or ``None`` on a miss."""
+        """Return the verified cached snapshot for *spec*, or ``None``.
+
+        Any damage — unparsable JSON, missing fields, a digest mismatch
+        from a torn or bit-rotted write — quarantines the entry and
+        reports a miss, so the next sweep re-executes and rewrites it.
+        """
         path = self.path_for(spec)
         try:
             text = path.read_text()
@@ -235,36 +277,30 @@ class SnapshotCache:
             return None
         try:
             data = json.loads(text)
-            snapshot = MachineSnapshot.from_dict(data["snapshot"])
+            stored_digest = data["sha256"]
+            snapshot_dict = data["snapshot"]
+            if _snapshot_digest(snapshot_dict) != stored_digest:
+                raise ValueError("snapshot payload digest mismatch")
+            snapshot = MachineSnapshot.from_dict(snapshot_dict)
         except Exception:
-            # Corrupt, truncated or stale-schema entry: treat as a miss.
+            # Corrupt, truncated or stale-schema entry: quarantine it and
+            # treat as a miss.
             self.stats.invalid += 1
             self.stats.misses += 1
+            self._quarantine(path)
             return None
         self.stats.hits += 1
         return snapshot
 
     def store(self, spec: RunSpec, snapshot: MachineSnapshot) -> Path:
-        """Atomically persist *snapshot* under *spec*'s key."""
+        """Atomically persist *snapshot*, digest-stamped, under *spec*'s key."""
         path = self.path_for(spec)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {"spec": spec.describe(), "snapshot": snapshot.to_dict()},
-            sort_keys=True,
-        )
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        snapshot_dict = snapshot.to_dict()
+        atomic_write_json(path, {
+            "spec": spec.describe(),
+            "snapshot": snapshot_dict,
+            "sha256": _snapshot_digest(snapshot_dict),
+        })
         self.stats.stores += 1
         return path
 
@@ -290,13 +326,47 @@ class SweepResult:
     duration_s: float = 0.0
 
 
+@dataclass(frozen=True)
+class RunFailure:
+    """One spec that permanently failed within a sweep.
+
+    ``kind`` is ``"error"`` (the run raised), ``"timeout"`` (it blew its
+    per-run deadline), ``"worker-lost"`` (its worker process died) or
+    ``"interrupted"`` (Ctrl-C before it finished); ``attempts`` counts
+    tries actually charged to this spec.
+    """
+
+    spec: RunSpec
+    kind: str
+    attempts: int
+    error: str
+
+
 @dataclass
 class SweepOutcome:
-    """All results of one :meth:`SweepExecutor.run_plan` invocation."""
+    """All results of one :meth:`SweepExecutor.run_plan` invocation.
+
+    ``results`` holds the runs that completed (in plan order); with a
+    ``keep_going`` executor — or after an interrupt — that may be a
+    subset, and ``failures`` accounts for every spec that did not make
+    it.  The retry counters aggregate what fault tolerance had to do:
+    they are zero on a healthy sweep and feed the ``bench:"faults"``
+    trajectory in chaos runs.
+    """
 
     plan_name: str
     results: List[SweepResult] = field(default_factory=list)
     elapsed_s: float = 0.0
+    failures: List[RunFailure] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    interrupted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when every spec of the plan completed."""
+        return not self.failures and not self.interrupted
 
     def __len__(self) -> int:
         return len(self.results)
@@ -353,6 +423,19 @@ class SweepExecutor:
         consumes v3 blocks natively, and ``"binary"`` otherwise.
         (Recording batched specs in v2 silently forced every replay
         down the sequential per-record decode path.)
+    retry:
+        :class:`~repro.analysis.retrypool.RetryPolicy` applied to each
+        uncached run: per-run attempts, exponential backoff and an
+        optional per-run wall-clock deadline.  The default retries
+        nothing (one attempt, no timeout) — exactly the old behaviour,
+        minus the old failure mode of losing sibling results.  A policy
+        with ``timeout_s`` forces pool execution even for a single
+        pending run, because an inline hang cannot be killed.
+    keep_going:
+        When a spec exhausts its attempts, record it in
+        ``SweepOutcome.failures`` and keep sweeping instead of raising
+        :class:`~repro.errors.ExecutionError` — one poisoned spec no
+        longer discards a 100-run grid.
     """
 
     def __init__(
@@ -362,6 +445,8 @@ class SweepExecutor:
         trace_dir: Optional[Union[str, Path]] = None,
         record_traces: bool = False,
         trace_format: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        keep_going: bool = False,
     ) -> None:
         self.workers = max(1, int(workers))
         self.disk_cache = SnapshotCache(cache_dir) if cache_dir else None
@@ -373,6 +458,8 @@ class SweepExecutor:
                 f"{sorted(TRACE_SUFFIXES)}"
             )
         self.trace_format = trace_format
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.keep_going = bool(keep_going)
         self._memory: Dict[RunSpec, MachineSnapshot] = {}
 
     # ------------------------------------------------------------------
@@ -463,6 +550,14 @@ class SweepExecutor:
         Results come back in plan order regardless of which worker
         finished first, and are bit-identical to a serial execution
         because workers rebuild their workload streams from the spec.
+
+        Failure semantics follow the executor's ``retry``/``keep_going``
+        configuration: a spec that exhausts its attempts raises
+        :class:`~repro.errors.ExecutionError` (carrying the partial
+        outcome) unless ``keep_going`` is set, in which case it lands in
+        ``outcome.failures`` instead.  ``KeyboardInterrupt`` shuts the
+        pool down promptly and returns the partial outcome with
+        ``interrupted=True`` — finished results are never discarded.
         """
         started = time.perf_counter()
         outcome = SweepOutcome(plan_name=plan.name)
@@ -478,42 +573,64 @@ class SweepExecutor:
             else:
                 pending.append(spec)
 
-        for spec, snapshot, source, duration in self._execute_pending(pending):
+        report, sources = self._execute_pending(pending)
+        for index in sorted(report.results):
+            snapshot, duration = report.results[index]
+            spec = pending[index]
             self._finish(spec, snapshot)
-            resolved[spec] = SweepResult(spec, snapshot, source, duration)
+            resolved[spec] = SweepResult(spec, snapshot, sources[index], duration)
 
-        outcome.results = [resolved[spec] for spec in plan]
+        outcome.results = [
+            resolved[spec] for spec in plan if spec in resolved
+        ]
+        outcome.failures = [
+            RunFailure(pending[f.index], f.kind, f.attempts, f.error)
+            for f in report.failures
+        ]
+        outcome.retries = report.retries
+        outcome.timeouts = report.timeouts
+        outcome.pool_rebuilds = report.pool_rebuilds
+        outcome.interrupted = report.interrupted
         outcome.elapsed_s = time.perf_counter() - started
+        if outcome.failures and not self.keep_going and not outcome.interrupted:
+            first = outcome.failures[0]
+            raise ExecutionError(
+                f"{len(outcome.failures)} of {len(plan)} runs failed "
+                f"permanently; first: {first.spec.workload_name}/"
+                f"{first.spec.policy} ({first.kind} after "
+                f"{first.attempts} attempt(s)): {first.error}",
+                failures=outcome.failures,
+                outcome=outcome,
+            )
         return outcome
 
     # ------------------------------------------------------------------
     def _execute_pending(self, pending: List[RunSpec]):
-        """Yield ``(spec, snapshot, source, duration_s)`` per uncached run.
+        """Execute uncached runs; return ``(PoolReport, sources)``.
 
         Results are keyed by the *original* spec even when execution
         replays a recorded trace: the snapshot is bit-identical, and the
         caches must serve future generated runs of the same spec.
+        Scheduling, retries, deadlines and pool recovery all live in
+        :func:`repro.analysis.retrypool.run_tasks`.
         """
-        if not pending:
-            return
         effective = [self._effective_spec(spec) for spec in pending]
         sources = [
             SOURCE_EXECUTED if spec is run_as else SOURCE_REPLAYED
             for spec, run_as in zip(pending, effective)
         ]
-        if self.workers == 1 or len(pending) == 1:
-            for spec, run_as, source in zip(pending, effective, sources):
-                started = time.perf_counter()
-                snapshot = execute_run_spec(run_as)
-                yield spec, snapshot, source, time.perf_counter() - started
-            return
-
-        worker_count = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=worker_count) as pool:
-            for spec, source, (snapshot, duration) in zip(
-                pending, sources, pool.map(_timed_execute, effective)
-            ):
-                yield spec, snapshot, source, duration
+        report = run_tasks(
+            list(enumerate(effective)),
+            _run_task,
+            policy=self.retry,
+            max_workers=self.workers,
+            keep_going=self.keep_going,
+            keys=[
+                _sweep_fault_key(index, run_as)
+                for index, run_as in enumerate(effective)
+            ],
+        )
+        return report, sources
 
     def _finish(self, spec: RunSpec, snapshot: MachineSnapshot) -> None:
         self._memory[spec] = snapshot

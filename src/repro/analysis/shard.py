@@ -26,18 +26,22 @@ different trace, epoch size or machine.
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
+import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple, Union
 
-from repro.errors import SimulationError, WorkloadError
+from repro import faults
+from repro.analysis.retrypool import RetryPolicy, run_tasks
+from repro.errors import ExecutionError, SimulationError, WorkloadError
 from repro.ioutil import atomic_write_json
 from repro.stats.snapshot import MachineSnapshot
 from repro.system.checkpoint import (
     checkpoint_file_name,
     config_digest,
     parse_checkpoint_epoch,
+    verify_checkpoint,
 )
 from repro.system.config import SystemConfig
 from repro.system.fastcore import resolve_engine
@@ -116,21 +120,40 @@ def _check_manifest(
         )
 
 
-def latest_checkpoint(directory: PathLike) -> Optional[Tuple[int, Path]]:
-    """Return ``(epoch, path)`` of the newest epoch checkpoint, if any.
+def latest_checkpoint(
+    directory: PathLike, verify: bool = True
+) -> Optional[Tuple[int, Path]]:
+    """Return ``(epoch, path)`` of the newest *intact* epoch checkpoint.
 
-    Checkpoints are written atomically, so the highest-numbered file is
-    always intact — a kill mid-write leaves no partial blob behind.
+    Checkpoint writes are atomic against process death, but not against
+    power loss on fsync-less media or later bit rot, so by default every
+    candidate's envelope is digest-verified (without unpickling) before
+    it is trusted.  A damaged file is quarantined as ``<name>.corrupt``
+    and the scan falls back to the next-newest epoch — a resume after
+    a torn write restarts one epoch earlier instead of crashing (or
+    silently restoring garbage).
     """
     directory = Path(directory)
     if not directory.is_dir():
         return None
-    best: Optional[Tuple[int, Path]] = None
+    candidates: List[Tuple[int, Path]] = []
     for path in directory.iterdir():
         epoch = parse_checkpoint_epoch(path.name)
-        if epoch >= 0 and (best is None or epoch > best[0]):
-            best = (epoch, path)
-    return best
+        if epoch >= 0:
+            candidates.append((epoch, path))
+    for epoch, path in sorted(candidates, reverse=True):
+        if not verify:
+            return epoch, path
+        try:
+            verify_checkpoint(path.read_bytes())
+        except (OSError, SimulationError):
+            try:
+                os.replace(path, path.with_name(path.name + ".corrupt"))
+            except OSError:
+                pass
+            continue
+        return epoch, path
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -163,6 +186,14 @@ def _records_from_epoch(
     return islice(read_trace(trace_path), start_epoch * epoch_records, None)
 
 
+def _batched_can_seek(trace_path: Path, epoch_records: int) -> bool:
+    """True when a batched replay can start mid-trace at an epoch."""
+    if sniff_format(trace_path) != "blocked":
+        return False
+    index = v3_epoch_index(trace_path)
+    return index is not None and int(index["epoch_records"]) == epoch_records
+
+
 def record_checkpoints(
     config: SystemConfig,
     trace_path: PathLike,
@@ -171,6 +202,7 @@ def record_checkpoints(
     engine: Optional[str] = None,
     resume: bool = False,
     workload_name: str = "",
+    retry: Optional[RetryPolicy] = None,
 ) -> SimulationResult:
     """Replay *trace_path* serially, checkpointing every *epoch_records*.
 
@@ -179,12 +211,19 @@ def record_checkpoints(
     continues where the interrupted run left off, so the directory ends
     up with the same files either way and the final snapshot is
     bit-identical to an uninterrupted replay.
+
+    A *retry* policy turns transient failures into automatic resumes:
+    each retry attempt restarts from the newest intact checkpoint the
+    failed attempt managed to write (falling back to a from-scratch
+    replay when it cannot seek there), with the policy's exponential
+    backoff between attempts.  ``KeyboardInterrupt`` is never retried.
     """
     if epoch_records <= 0:
         raise SimulationError("epoch_records must be positive")
     trace_path = Path(trace_path)
     directory = Path(checkpoint_dir)
     engine = resolve_engine(engine)
+    policy = retry if retry is not None else RetryPolicy()
     manifest = ShardManifest(
         trace_name=trace_path.name,
         trace_records=count_records(trace_path),
@@ -194,6 +233,43 @@ def record_checkpoints(
     )
     _check_manifest(directory, manifest, "replay")
 
+    attempt = 1
+    while True:
+        faults.set_attempt(attempt)
+        try:
+            return _record_checkpoints_once(
+                config, trace_path, epoch_records, directory, engine,
+                manifest, workload_name,
+                # A retry is a resume by construction: the failed attempt's
+                # checkpoints are on disk and verified on discovery.
+                resume=resume or attempt > 1,
+                explicit_resume=resume,
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            if attempt >= policy.max_attempts:
+                raise
+            attempt += 1
+            delay = policy.delay_for(attempt)
+            if delay > 0:
+                time.sleep(delay)
+        finally:
+            faults.set_attempt(1)
+
+
+def _record_checkpoints_once(
+    config: SystemConfig,
+    trace_path: Path,
+    epoch_records: int,
+    directory: Path,
+    engine: str,
+    manifest: ShardManifest,
+    workload_name: str,
+    resume: bool,
+    explicit_resume: bool,
+) -> SimulationResult:
+    """One attempt of :func:`record_checkpoints` (pre-flight already done)."""
     start_epoch = 0
     blob: Optional[bytes] = None
     if resume:
@@ -201,6 +277,16 @@ def record_checkpoints(
         if found is not None:
             start_epoch, path = found
             blob = path.read_bytes()
+    if (
+        start_epoch > 0
+        and not explicit_resume
+        and engine == "batched"
+        and not _batched_can_seek(trace_path, epoch_records)
+    ):
+        # Automatic (retry-driven) resume on a trace the batched engine
+        # cannot seek: replay from scratch rather than fail the retry.
+        # A user-requested resume keeps its actionable refusal below.
+        start_epoch, blob = 0, None
 
     simulator = Simulator(config, engine=engine)
     if blob is not None:
@@ -286,9 +372,20 @@ class _SpanTask:
     checkpoint_path: Optional[str]
 
 
+def _span_fault_key(task: _SpanTask) -> str:
+    """The ``shard.span`` fault-site key naming one shard's epoch span."""
+    return f"#{task.start_epoch}-{task.end_epoch}"
+
+
 def _replay_span(task: _SpanTask) -> Tuple[MachineSnapshot, int]:
-    """Pool worker body: restore the span's checkpoint and replay it."""
+    """Pool worker body: restore the span's checkpoint and replay it.
+
+    The :func:`faults.fire` call is the chaos hook standing in for a
+    real shard failure; a no-op with no plan installed.
+    """
     from repro.trace.binary import read_trace_v3_chunks
+
+    faults.fire("shard.span", key=_span_fault_key(task))
 
     simulator = Simulator(task.config, engine=task.engine)
     if task.checkpoint_path is not None:
@@ -329,6 +426,7 @@ def replay_sharded(
     shards: int,
     checkpoint_dir: PathLike,
     engine: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ShardedReplayResult:
     """Replay a checkpointed v3.1 trace across a process pool.
 
@@ -339,6 +437,13 @@ def replay_sharded(
     :func:`record_checkpoints` run in *checkpoint_dir* — the manifest is
     checked so checkpoints from a different trace, epoch size, engine
     or machine configuration are refused rather than silently replayed.
+
+    A *retry* policy makes shard failure survivable: a failed span is
+    retried from its epoch checkpoint (never by re-running the world),
+    a hung span is killed at the policy's deadline, and a died worker
+    only requeues the spans it took down.  When a span exhausts its
+    attempts the whole replay raises
+    :class:`~repro.errors.ExecutionError` naming the span.
 
     The returned :attr:`~ShardedReplayResult.snapshot` (the last span's
     end state) is bit-identical to a single-process replay.
@@ -398,11 +503,24 @@ def replay_sharded(
             )
         )
 
-    if len(tasks) == 1:
-        outcomes = [_replay_span(tasks[0])]
-    else:
-        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-            outcomes = list(pool.map(_replay_span, tasks))
+    report = run_tasks(
+        tasks,
+        _replay_span,
+        policy=retry if retry is not None else RetryPolicy(),
+        max_workers=len(tasks),
+        keys=[_span_fault_key(task) for task in tasks],
+    )
+    if report.interrupted:
+        raise KeyboardInterrupt("sharded replay interrupted")
+    if report.failures:
+        first = report.failures[0]
+        raise ExecutionError(
+            f"{len(report.failures)} of {len(tasks)} shard spans failed "
+            f"permanently; first: span {first.key} ({first.kind} after "
+            f"{first.attempts} attempt(s)): {first.error}",
+            failures=report.failures,
+        )
+    outcomes = [report.results[index] for index in range(len(tasks))]
     span_snapshots = [snapshot for snapshot, _count in outcomes]
     return ShardedReplayResult(
         snapshot=span_snapshots[-1],

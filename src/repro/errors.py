@@ -53,3 +53,29 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator was driven incorrectly (e.g. run twice)."""
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately raised by the :mod:`repro.faults` harness.
+
+    Chaos tests inject these to stand in for real worker failures (OOM
+    kills, segfaults, flaky storage).  They carry the fault site and key
+    so a retry trace reads like a real incident report.
+    """
+
+
+class ExecutionError(ReproError):
+    """One or more runs of a sweep or sharded replay failed permanently.
+
+    Raised after the retry policy is exhausted.  ``failures`` lists the
+    per-run :class:`~repro.analysis.executor.RunFailure` records and
+    ``outcome`` (when available) holds the partial
+    :class:`~repro.analysis.executor.SweepOutcome` with every result
+    that *did* complete, so callers can salvage finished work even from
+    a failed sweep.
+    """
+
+    def __init__(self, message, failures=(), outcome=None):
+        super().__init__(message)
+        self.failures = list(failures)
+        self.outcome = outcome

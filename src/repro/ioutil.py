@@ -1,9 +1,21 @@
 """Small shared filesystem helpers.
 
-One home for the atomic-JSON-write pattern the persisted artifacts
-(benchmark trajectories, the golden-snapshot corpus) rely on: write to a
-same-directory temp file, then ``os.replace`` so readers never observe a
-half-written document and a crash leaves the previous version intact.
+One home for the atomic-write pattern the persisted artifacts (benchmark
+trajectories, the golden-snapshot corpus, snapshot-cache entries, engine
+checkpoints) rely on: write to a same-directory temp file, then
+``os.replace`` so readers never observe a half-written document and a
+crash leaves the previous version intact.
+
+Both writers accept ``fsync=True`` for artifacts that must survive power
+loss, not just process death: the temp file is flushed to stable storage
+before the rename, and the parent directory is fsynced after it, so a
+crash can never leave a renamed-but-unflushed blob (the classic
+"rename is atomic but the data never hit the platter" hole).
+
+All bytes funnel through the ``io.write`` fault site of
+:mod:`repro.faults`, keyed by the destination file name — that is what
+lets the chaos suite produce genuinely torn or corrupted artifacts
+through the same code path production uses.
 """
 
 from __future__ import annotations
@@ -14,48 +26,38 @@ import tempfile
 from pathlib import Path
 from typing import Union
 
+from repro import faults
 
-def atomic_write_json(path: Union[str, Path], data: object) -> Path:
-    """Atomically write *data* as pretty sorted JSON (with newline) to *path*.
 
-    Parent directories are created as needed.  On any failure the temp
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory fd so a completed rename survives power loss."""
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write(path: Path, data: bytes, fsync: bool) -> Path:
+    """Write *data* to *path* via temp file + ``os.replace``.
+
+    The shared core of both public writers.  On any failure the temp
     file is removed and the previous file (if any) is left untouched.
     """
-    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=str(path.parent), prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(data, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    return path
-
-
-def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
-    """Atomically write raw *data* to *path* (temp file + ``os.replace``).
-
-    The binary sibling of :func:`atomic_write_json`, used for engine
-    checkpoints: a kill mid-write must leave either the previous
-    checkpoint or no file at all, never a torn blob.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    data = faults.filter_bytes("io.write", path.name, data)
     fd, tmp_name = tempfile.mkstemp(
         dir=str(path.parent), prefix=path.name, suffix=".tmp"
     )
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        if fsync:
+            _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -63,3 +65,29 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
             pass
         raise
     return path
+
+
+def atomic_write_json(
+    path: Union[str, Path], data: object, fsync: bool = False
+) -> Path:
+    """Atomically write *data* as pretty sorted JSON (with newline) to *path*.
+
+    Parent directories are created as needed.  Pass ``fsync=True`` for
+    durability against power loss (file and parent directory are both
+    flushed to stable storage).
+    """
+    text = json.dumps(data, indent=2, sort_keys=True) + "\n"
+    return _atomic_write(Path(path), text.encode("utf-8"), fsync)
+
+
+def atomic_write_bytes(
+    path: Union[str, Path], data: bytes, fsync: bool = False
+) -> Path:
+    """Atomically write raw *data* to *path* (temp file + ``os.replace``).
+
+    The binary sibling of :func:`atomic_write_json`, used for engine
+    checkpoints: a kill mid-write must leave either the previous
+    checkpoint or no file at all, never a torn blob.  Checkpoints pass
+    ``fsync=True`` so a power loss cannot leave a renamed-but-empty one.
+    """
+    return _atomic_write(Path(path), data, fsync)

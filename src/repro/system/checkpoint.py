@@ -69,8 +69,14 @@ def encode_checkpoint(state: Dict[str, object]) -> bytes:
     return CHECKPOINT_MAGIC + _HEADER.pack(CHECKPOINT_VERSION) + digest + payload
 
 
-def decode_checkpoint(blob: bytes) -> Dict[str, object]:
-    """Unwrap and verify a checkpoint blob; raise on any damage."""
+def verify_checkpoint(blob: bytes) -> bytes:
+    """Validate the envelope of a checkpoint blob, returning its payload.
+
+    Checks length, magic, version and the SHA-256 digest — everything
+    short of unpickling — and raises :class:`SimulationError` on damage.
+    This is what lets checkpoint *discovery* (``shard.latest_checkpoint``)
+    quarantine torn files without paying for, or trusting, a pickle load.
+    """
     header_len = len(CHECKPOINT_MAGIC) + _HEADER.size + _DIGEST_BYTES
     if len(blob) < header_len:
         raise SimulationError(
@@ -96,7 +102,12 @@ def decode_checkpoint(blob: bytes) -> Dict[str, object]:
             "checkpoint payload digest mismatch; the file is corrupt "
             "(torn write or bit rot) — re-record from the last good epoch"
         )
-    return pickle.loads(payload)
+    return payload
+
+
+def decode_checkpoint(blob: bytes) -> Dict[str, object]:
+    """Unwrap and verify a checkpoint blob; raise on any damage."""
+    return pickle.loads(verify_checkpoint(blob))
 
 
 def checkpoint_file_name(epoch: int) -> str:

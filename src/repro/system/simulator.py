@@ -17,6 +17,7 @@ from itertools import islice
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
+from repro import faults
 from repro.errors import SimulationError
 from repro.ioutil import atomic_write_bytes
 from repro.stats.snapshot import MachineSnapshot, collect
@@ -242,8 +243,14 @@ class Simulator:
         )
 
     def _write_checkpoint(self, directory: Path, epoch: int) -> Path:
+        # Chaos hook for crash-at-epoch-N injections, then a durable
+        # write: checkpoints are the resume substrate, so they must
+        # survive power loss, not just process death.
+        faults.fire("sim.epoch", key=f"#{epoch}")
         return atomic_write_bytes(
-            directory / checkpoint_file_name(epoch), self.machine.checkpoint()
+            directory / checkpoint_file_name(epoch),
+            self.machine.checkpoint(),
+            fsync=True,
         )
 
     def _replay_records_checkpointed(

@@ -230,6 +230,68 @@ class TestShardedSchema:
         validate_entry({"bench": "trace_replay", "mb_per_s": 900.0})
 
 
+class TestFaultsSchema:
+    """``bench: "faults"`` entries carry the chaos-run counters."""
+
+    def good(self, **overrides):
+        entry = {
+            "bench": "faults",
+            "engine": "packed",
+            "scenario": "sweep-crash-exit-torn",
+            "retries": 2,
+            "timeouts": 0,
+            "quarantines": 1,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_accepts_well_formed_faults_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        validate_entry(self.good())
+        log = tmp_path / "BENCH.json"
+        append_bench_entry(log, self.good())
+        stored = latest_entry(log, bench="faults")
+        assert stored["retries"] == 2
+        assert stored["quarantines"] == 1
+
+    def test_zero_counters_are_valid(self):
+        validate_entry(self.good(retries=0, timeouts=0, quarantines=0))
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"retries": None},
+            {"retries": -1},
+            {"retries": 2.0},  # must be an int
+            {"retries": True},  # bool is not a count
+            {"timeouts": None},
+            {"timeouts": -3},
+            {"timeouts": "0"},
+            {"quarantines": None},
+            {"quarantines": -1},
+            {"quarantines": False},
+        ],
+    )
+    def test_rejects_malformed_faults_fields(self, tmp_path, overrides):
+        bad = self.good(**overrides)
+        with pytest.raises(ValueError):
+            validate_entry(bad)
+        log = tmp_path / "BENCH.json"
+        with pytest.raises(ValueError):
+            append_bench_entry(log, bad)
+        assert not log.exists()
+
+    def test_missing_faults_fields_rejected(self):
+        for field in ("retries", "timeouts", "quarantines"):
+            entry = self.good()
+            del entry[field]
+            with pytest.raises(ValueError, match=field):
+                validate_entry(entry)
+
+    def test_other_benches_do_not_need_faults_fields(self):
+        validate_entry({"bench": "hotpath", "accesses_per_s": 1.0e6})
+
+
 class TestDamageSalvage:
     """One bad byte must never erase the whole perf history again."""
 
