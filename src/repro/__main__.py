@@ -29,6 +29,16 @@ Commands
 ``golden check``
     Re-run the grid on the chosen engine and verify every snapshot digest
     against the committed corpus; exits non-zero on any mismatch.
+``serve``
+    Run the coalescing cache-front sweep server: warm snapshots from the
+    cache tiers, identical in-flight requests coalesced into a single
+    execution, cold work sharded across server processes sharing one
+    cache directory (see ``docs/serving.md``).
+``serve-bench``
+    Load-generate against a sweep server (or a self-hosted ephemeral
+    one) and report throughput, latency percentiles and the server's
+    executed/coalesced/warm counters; optionally append the measurement
+    to a ``bench:"serve"`` trajectory file.
 ``plans``
     List the named plans and how many runs each contains at the current
     settings.
@@ -55,6 +65,11 @@ Examples
         --checkpoint-dir .repro-ckpt --shards 4
     python -m repro golden record
     python -m repro golden check --engine reference
+    python -m repro serve --cache-dir .repro-cache --retries 2
+    python -m repro serve --port 8643 --shard-index 1 --shard-count 2 \\
+        --cache-dir .repro-cache
+    python -m repro serve-bench --plan micro --specs 2 --requests 32 \\
+        --concurrency 8 --bench-log BENCH_serve.json
     python -m repro plans
 """
 
@@ -453,6 +468,139 @@ def _cmd_golden_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import SweepServer
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
+    executor = SweepExecutor(
+        cache_dir=cache_dir,
+        trace_dir=args.trace_dir,
+        retry=_retry_policy_from_args(args),
+    )
+    server = SweepServer(
+        executor=executor,
+        host=args.host,
+        port=args.port,
+        shard_index=args.shard_index,
+        shard_count=args.shard_count,
+        parallel=args.parallel,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(shard {server.shard_index}/{server.shard_count}, "
+            f"parallel={args.parallel}, "
+            f"cache={'off' if cache_dir is None else cache_dir})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        return 0
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+
+    from repro.analysis.benchlog import append_bench_entry
+    from repro.serve import BackgroundServer, SweepServer, run_load
+
+    settings = _settings_from_args(args)
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    plan = build_plan(args.plan, settings, benchmarks)
+    specs = list(plan)
+    if args.specs is not None:
+        specs = specs[: args.specs]
+    if not specs:
+        print("error: the chosen plan subset is empty", file=sys.stderr)
+        return 2
+
+    with contextlib.ExitStack() as stack:
+        if args.url:
+            stripped = args.url.replace("http://", "").rstrip("/")
+            host, _, port_text = stripped.partition(":")
+            if not port_text:
+                print("error: --url needs host:port", file=sys.stderr)
+                return 2
+            host, port = host, int(port_text)
+        else:
+            # Self-hosted: an ephemeral server on a throwaway cache so
+            # the cold/coalesced path is actually measured.
+            cache_dir = args.cache_dir or stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+            )
+            server = SweepServer(
+                executor=SweepExecutor(
+                    cache_dir=cache_dir, retry=_retry_policy_from_args(args)
+                ),
+                parallel=args.parallel,
+            )
+            stack.enter_context(BackgroundServer(server))
+            host, port = server.host, server.port
+
+        print(
+            f"load: {args.requests} requests x {args.concurrency} clients "
+            f"over {len(specs)} spec(s) against {host}:{port}"
+        )
+        report = run_load(
+            host, port, specs,
+            requests=args.requests,
+            concurrency=args.concurrency,
+        )
+
+    print(
+        f"{report.ok} ok / {report.errors} errors in {report.elapsed_s:.2f}s "
+        f"({report.throughput_rps:.1f} req/s) — "
+        f"p50 {report.p50_ms:.1f}ms, p99 {report.p99_ms:.1f}ms"
+    )
+    print(
+        f"server counters: {report.executed} executed, "
+        f"{report.coalesced} coalesced, {report.warm_hits} warm hits; "
+        f"responses bit-identical: {report.bit_identical()}"
+    )
+    if not report.bit_identical():
+        print("error: a spec produced differing snapshots", file=sys.stderr)
+        return 1
+    if args.assert_single_execution:
+        if report.errors or report.executed != report.distinct_specs:
+            print(
+                f"error: expected exactly {report.distinct_specs} execution(s) "
+                f"for {report.distinct_specs} distinct spec(s), measured "
+                f"{report.executed} (errors: {report.errors})",
+                file=sys.stderr,
+            )
+            return 1
+    if args.bench_log:
+        entry = {
+            "bench": "serve",
+            "requests": report.requests,
+            "concurrency": report.concurrency,
+            "distinct_specs": report.distinct_specs,
+            "executed": report.executed,
+            "coalesced": report.coalesced,
+            "warm_hits": report.warm_hits,
+            "throughput_rps": report.throughput_rps,
+            "p50_ms": report.p50_ms,
+            "p99_ms": report.p99_ms,
+        }
+        written = append_bench_entry(args.bench_log, entry)
+        if written is not None:
+            print(f"trajectory entry appended to {written}")
+    return 0
+
+
 def _cmd_plans(args: argparse.Namespace) -> int:
     settings = _settings_from_args(args)
     benchmarks = _parse_benchmarks(args.benchmarks)
@@ -744,6 +892,99 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         sub.set_defaults(func=handler)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the coalescing cache-front sweep server (see docs/serving.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (0 picks an ephemeral one; default: 8642)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="on-disk snapshot cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        help="directory of recorded traces to replay runs from",
+    )
+    serve.add_argument(
+        "--parallel", type=int, default=2,
+        help="concurrent executions this server runs (default: 2)",
+    )
+    serve.add_argument(
+        "--shard-index", type=int, default=0,
+        help="this process's slot in a shard group (default: 0)",
+    )
+    serve.add_argument(
+        "--shard-count", type=int, default=1,
+        help=(
+            "number of server processes sharing the cache directory; cold "
+            "executions are partitioned by spec digest (default: 1)"
+        ),
+    )
+    _add_retry_arguments(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    serve_bench = subparsers.add_parser(
+        "serve-bench",
+        help="load-generate against a sweep server and report throughput/latency",
+    )
+    serve_bench.add_argument(
+        "--url",
+        help=(
+            "server to drive as host:port (default: self-host an ephemeral "
+            "server on a throwaway cache)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--plan",
+        choices=sorted(PLAN_BUILDERS),
+        default="micro",
+        help="plan whose specs form the request mix (default: micro)",
+    )
+    serve_bench.add_argument(
+        "--specs", type=int, default=None,
+        help="use only the first N specs of the plan (default: all)",
+    )
+    serve_bench.add_argument(
+        "--requests", type=int, default=32,
+        help="total requests to issue (default: 32)",
+    )
+    serve_bench.add_argument(
+        "--concurrency", type=int, default=8,
+        help="concurrent client connections (default: 8)",
+    )
+    serve_bench.add_argument(
+        "--parallel", type=int, default=2,
+        help="self-hosted server's execution threads (default: 2)",
+    )
+    serve_bench.add_argument(
+        "--cache-dir",
+        help="self-hosted server's cache directory (default: throwaway temp dir)",
+    )
+    serve_bench.add_argument(
+        "--bench-log",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a bench:'serve' entry to this trajectory file "
+            "(e.g. BENCH_serve.json; default: don't)"
+        ),
+    )
+    serve_bench.add_argument(
+        "--assert-single-execution",
+        action="store_true",
+        help=(
+            "exit non-zero unless the server executed each distinct spec "
+            "exactly once (every duplicate coalesced or served warm)"
+        ),
+    )
+    _add_retry_arguments(serve_bench)
+    _add_settings_arguments(serve_bench)
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     plans = subparsers.add_parser("plans", help="list named plans and sizes")
     _add_settings_arguments(plans)

@@ -154,7 +154,12 @@ def validate_entry(entry: Dict[str, object]) -> None:
     ``bench: "faults"`` carry the chaos-run shape: non-negative integer
     ``retries``, ``timeouts`` and ``quarantines`` counters — what the
     fault-tolerance machinery had to absorb for the run to finish
-    bit-identical.  Raises :class:`ValueError` naming the offending
+    bit-identical.  Entries declaring ``bench: "serve"`` carry the
+    service load-run shape: positive integers ``requests`` and
+    ``concurrency``, non-negative integers ``coalesced`` and
+    ``warm_hits``, a positive ``throughput_rps`` and non-negative
+    ``p50_ms``/``p99_ms`` latency percentiles.  Raises
+    :class:`ValueError` naming the offending
     field, so a malformed bench fails loudly instead of poisoning the
     persisted trajectory.
     """
@@ -209,6 +214,38 @@ def validate_entry(entry: Dict[str, object]) -> None:
                     or value < 0:
                 raise ValueError(
                     f"faults bench entry needs a non-negative integer {key!r} "
+                    f"(got {value!r})"
+                )
+    if entry.get("bench") == "serve":
+        for key in ("requests", "concurrency"):
+            value = entry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ValueError(
+                    f"serve bench entry needs a positive integer {key!r} "
+                    f"(got {value!r})"
+                )
+        for key in ("coalesced", "warm_hits"):
+            value = entry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                raise ValueError(
+                    f"serve bench entry needs a non-negative integer {key!r} "
+                    f"(got {value!r})"
+                )
+        throughput = entry.get("throughput_rps")
+        if not isinstance(throughput, (int, float)) or isinstance(throughput, bool) \
+                or not throughput > 0:
+            raise ValueError(
+                "serve bench entry needs a positive 'throughput_rps' "
+                f"(got {throughput!r})"
+            )
+        for key in ("p50_ms", "p99_ms"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                    or value < 0:
+                raise ValueError(
+                    f"serve bench entry needs a non-negative {key!r} "
                     f"(got {value!r})"
                 )
 

@@ -349,12 +349,16 @@ class SweepOutcome:
     ``results`` holds the runs that completed (in plan order); with a
     ``keep_going`` executor — or after an interrupt — that may be a
     subset, and ``failures`` accounts for every spec that did not make
-    it.  The retry counters aggregate what fault tolerance had to do:
-    they are zero on a healthy sweep and feed the ``bench:"faults"``
-    trajectory in chaos runs.
+    it.  ``plan_size`` is the number of specs the plan asked for —
+    the denominator of :attr:`cached_fraction` — so failed runs count
+    as uncached instead of silently shrinking the ratio's base.  The
+    retry counters aggregate what fault tolerance had to do: they are
+    zero on a healthy sweep and feed the ``bench:"faults"`` trajectory
+    in chaos runs.
     """
 
     plan_name: str
+    plan_size: int = 0
     results: List[SweepResult] = field(default_factory=list)
     elapsed_s: float = 0.0
     failures: List[RunFailure] = field(default_factory=list)
@@ -385,12 +389,20 @@ class SweepOutcome:
 
     @property
     def cached_fraction(self) -> float:
-        """Fraction of runs served without simulation."""
-        if not self.results:
+        """Fraction of the *plan* served without simulation.
+
+        The denominator is the full plan size, not the completed-result
+        count: a ``keep_going`` sweep where most of the grid failed used
+        to report its few disk-served survivors as a high fraction and
+        sail through the CLI's ``--min-cache-fraction`` gate.  Failures
+        are uncached by definition.
+        """
+        total = self.plan_size or len(self.results)
+        if not total:
             return 0.0
         counts = self.counts_by_source()
         cached = counts[SOURCE_MEMORY] + counts[SOURCE_DISK]
-        return cached / len(self.results)
+        return cached / total
 
 
 class SweepExecutor:
@@ -463,16 +475,52 @@ class SweepExecutor:
         self._memory: Dict[RunSpec, MachineSnapshot] = {}
 
     # ------------------------------------------------------------------
-    # Single-spec path (used by the ExperimentRunner facade)
+    # Single-spec path (ExperimentRunner facade, serve handlers)
     # ------------------------------------------------------------------
     def run(self, spec: RunSpec) -> MachineSnapshot:
-        """Resolve one spec through memory -> disk -> execution."""
+        """Resolve one spec through memory -> disk -> execution.
+
+        Uncached runs go through the same
+        :func:`~repro.analysis.retrypool.run_tasks` machinery as
+        :meth:`run_plan` — retry/backoff/timeout from the executor's
+        ``retry`` policy, the ``sweep.run`` fault site, pool isolation
+        when a deadline demands it.  (This path used to call
+        :func:`execute_run_spec` directly, so single runs — every facade
+        call, every server request — silently got *none* of the fault
+        tolerance the sweep path advertised.)  A spec that exhausts its
+        attempts raises :class:`~repro.errors.ExecutionError`; an
+        interrupt re-raises ``KeyboardInterrupt``.
+        """
         cached = self._resolve_cached(spec)
         if cached is not None:
             return cached[0]
-        snapshot = execute_run_spec(self._effective_spec(spec))
+        report, _sources = self._execute_pending([spec])
+        if report.interrupted:
+            raise KeyboardInterrupt
+        if 0 not in report.results:
+            failure = RunFailure(
+                spec,
+                report.failures[0].kind,
+                report.failures[0].attempts,
+                report.failures[0].error,
+            )
+            raise ExecutionError(
+                f"run {spec.workload_name}/{spec.policy} failed permanently "
+                f"({failure.kind} after {failure.attempts} attempt(s)): "
+                f"{failure.error}",
+                failures=[failure],
+            )
+        snapshot, _duration = report.results[0]
         self._finish(spec, snapshot)
         return snapshot
+
+    def lookup(self, spec: RunSpec):
+        """Probe the cache tiers only; ``(snapshot, source)`` or ``None``.
+
+        Never executes.  This is the warm-tier fast path the serve layer
+        answers from before considering coalescing or execution.
+        """
+        return self._resolve_cached(spec)
 
     # ------------------------------------------------------------------
     # Trace replay
@@ -560,7 +608,7 @@ class SweepExecutor:
         ``interrupted=True`` — finished results are never discarded.
         """
         started = time.perf_counter()
-        outcome = SweepOutcome(plan_name=plan.name)
+        outcome = SweepOutcome(plan_name=plan.name, plan_size=len(plan))
         resolved: Dict[RunSpec, SweepResult] = {}
         pending: List[RunSpec] = []
 

@@ -227,7 +227,6 @@ def _run_inline(payloads, worker, policy, keep_going, keys, report, plan):
                 report.results[index] = _invoke(
                     worker, payload, attempt, policy.delay_for(attempt), plan
                 )
-                break
             except KeyboardInterrupt:
                 report.interrupted = True
                 _mark_interrupted(report, keys, [index], attempt)
@@ -245,6 +244,23 @@ def _run_inline(payloads, worker, policy, keep_going, keys, report, plan):
                     break
                 attempt += 1
                 report.retries += 1
+                continue
+            # Fire the collection fault site inline too — the pooled
+            # path fires it after each gathered result, and a chaos rule
+            # targeting it must not silently no-op on 1-worker sweeps.
+            # The task's own result is already collected, so (matching
+            # the pooled semantics, where the finished future has left
+            # in_flight) an injected interrupt here marks only the
+            # *remaining* tasks interrupted.
+            try:
+                faults.fire("pool.collect", key=str(index))
+            except KeyboardInterrupt:
+                report.interrupted = True
+                _mark_interrupted(
+                    report, keys, range(index + 1, len(payloads)), 0
+                )
+                return
+            break
 
 
 def _mark_interrupted(report, keys, indices, attempts):

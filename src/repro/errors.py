@@ -64,6 +64,20 @@ class InjectedFaultError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """A sweep-service request or response is invalid.
+
+    Raised by the :mod:`repro.serve` layer for malformed wire payloads
+    (bad JSON, unknown fields, a spec naming a server-side trace path),
+    protocol violations, and client-observed HTTP failures.  Carries an
+    optional ``status`` with the HTTP status code the condition maps to.
+    """
+
+    def __init__(self, message, status=400):
+        super().__init__(message)
+        self.status = status
+
+
 class ExecutionError(ReproError):
     """One or more runs of a sweep or sharded replay failed permanently.
 

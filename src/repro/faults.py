@@ -31,7 +31,11 @@ sim.epoch   in :meth:`Simulator.run` before writing an epoch checkpoint
 io.write    inside ``ioutil.atomic_write_*`` — a *filter* site: torn /
             corrupt rules damage the bytes (key: destination file name)
 pool.collect in the sweep parent, after collecting each finished result
-            (key: task index) — drives the KeyboardInterrupt path
+            (key: task index) — drives the KeyboardInterrupt path;
+            fired on both the pooled and the inline execution path
+serve.request in the sweep server, after parsing each request body
+            (key: ``<method> <path>``) — drives request-level failures
+            without killing the server process
 ========== =============================================================
 
 ``REPRO_FAULTS`` syntax — rules separated by ``;``, fields by

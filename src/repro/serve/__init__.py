@@ -1,0 +1,47 @@
+"""Sweep-as-a-service: a coalescing cache-front server for run specs.
+
+``python -m repro serve`` starts a :class:`SweepServer` in front of a
+:class:`~repro.analysis.executor.SweepExecutor`: requests name runs as
+wire-serialized specs, warm results come straight from the memory/disk
+snapshot tiers, identical in-flight requests coalesce into a single
+execution, and multiple server processes shard cold work over one
+shared cache directory.  ``python -m repro serve-bench`` is the
+matching load generator.  See ``docs/serving.md``.
+"""
+
+from repro.serve.client import LoadReport, RunResponse, ServeClient, run_load
+from repro.serve.coalescer import RunCoalescer
+from repro.serve.protocol import (
+    WIRE_SCHEMA_VERSION,
+    decode_events,
+    encode_event,
+    shard_of,
+    spec_from_wire,
+    spec_to_wire,
+    specs_from_wire,
+)
+from repro.serve.server import (
+    STATUS_WRONG_SHARD,
+    BackgroundServer,
+    ServeStats,
+    SweepServer,
+)
+
+__all__ = [
+    "BackgroundServer",
+    "LoadReport",
+    "RunCoalescer",
+    "RunResponse",
+    "STATUS_WRONG_SHARD",
+    "ServeClient",
+    "ServeStats",
+    "SweepServer",
+    "WIRE_SCHEMA_VERSION",
+    "decode_events",
+    "encode_event",
+    "run_load",
+    "shard_of",
+    "spec_from_wire",
+    "spec_to_wire",
+    "specs_from_wire",
+]

@@ -1,0 +1,298 @@
+"""Blocking client + load generator for the sweep service.
+
+:class:`ServeClient` is the thin request layer (stdlib ``http.client``,
+one keep-alive connection per client, transparent chunked decoding) the
+tests, the CLI and the load generator all drive.
+
+:func:`run_load` is the service-style benchmark runner (modeled on the
+memcached/nginx workload-runner layout): it fans *requests* total
+requests over *concurrency* threads, round-robin across a spec set
+deliberately smaller than the request count — so the run exercises
+exactly the coalescing/warm paths a multi-tenant deployment lives on —
+and reports throughput, latency percentiles and the server's counter
+deltas as a :class:`LoadReport`, ready to append to the
+``bench:"serve"`` trajectory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.analysis.plan import RunSpec
+from repro.errors import ServeError
+from repro.serve.protocol import WIRE_SCHEMA_VERSION, spec_to_wire
+
+
+@dataclass
+class RunResponse:
+    """One ``POST /run`` result."""
+
+    digest: str
+    source: str
+    duration_s: float
+    snapshot: Dict[str, object]
+
+    def snapshot_digest(self) -> str:
+        """SHA-256 over the canonical snapshot JSON (bit-identity probe)."""
+        canonical = json.dumps(
+            self.snapshot, sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ServeClient:
+    """Blocking HTTP client for one sweep server."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None):
+        conn = self._connection()
+        payload = (
+            json.dumps(body, separators=(",", ":")).encode("utf-8")
+            if body is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if payload else {}
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            return conn.getresponse()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # One reconnect: the server may have dropped an idle
+            # keep-alive connection between requests.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=payload, headers=headers)
+            return conn.getresponse()
+
+    def _json(self, method: str, path: str, body: Optional[dict] = None,
+              expect: Sequence[int] = (200,)) -> Dict[str, object]:
+        response = self._request(method, path, body)
+        data = response.read()
+        try:
+            decoded = json.loads(data.decode("utf-8"))
+        except ValueError:
+            raise ServeError(
+                f"{method} {path} returned non-JSON (HTTP {response.status})",
+                status=response.status,
+            ) from None
+        if response.status not in expect:
+            raise ServeError(
+                f"{method} {path} failed (HTTP {response.status}): "
+                f"{decoded.get('error', decoded)}",
+                status=response.status,
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._json("GET", "/health")
+
+    def stats(self) -> Dict[str, object]:
+        return self._json("GET", "/stats")
+
+    def run(self, spec: RunSpec) -> RunResponse:
+        """Execute (or cache-serve, or coalesce) one spec remotely."""
+        payload = self._json("POST", "/run", {
+            "wire_schema": WIRE_SCHEMA_VERSION, "spec": spec_to_wire(spec),
+        })
+        return RunResponse(
+            digest=payload["digest"],
+            source=payload["source"],
+            duration_s=payload["duration_s"],
+            snapshot=payload["snapshot"],
+        )
+
+    def sweep(self, specs: Sequence[RunSpec]) -> List[Dict[str, object]]:
+        """Run a batch; return the full ordered event list."""
+        return list(self.stream(
+            "/sweep",
+            {
+                "wire_schema": WIRE_SCHEMA_VERSION,
+                "specs": [spec_to_wire(spec) for spec in specs],
+            },
+        ))
+
+    def stream(self, path: str, body: dict) -> Iterator[Dict[str, object]]:
+        """POST *body* and yield the NDJSON events of a chunked response."""
+        response = self._request("POST", path, body)
+        if response.status != 200:
+            data = response.read()
+            try:
+                decoded = json.loads(data.decode("utf-8"))
+                message = decoded.get("error", decoded)
+            except ValueError:
+                message = data[:200]
+            raise ServeError(
+                f"POST {path} failed (HTTP {response.status}): {message}",
+                status=response.status,
+            )
+        while True:
+            line = response.readline()
+            if not line:
+                break
+            text = line.decode("utf-8").strip()
+            if not text:
+                continue
+            event = json.loads(text)
+            if not isinstance(event, dict) or "event" not in event:
+                raise ServeError(f"malformed event line: {text!r}")
+            yield event
+
+    def run_streaming(self, spec: RunSpec) -> List[Dict[str, object]]:
+        """Streaming single run: the ordered progress-event list."""
+        return list(self.stream("/run", {
+            "wire_schema": WIRE_SCHEMA_VERSION,
+            "spec": spec_to_wire(spec),
+            "stream": True,
+        }))
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReport:
+    """What one load run measured (feeds the ``bench:"serve"`` entry)."""
+
+    requests: int
+    concurrency: int
+    distinct_specs: int
+    ok: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    #: spec digest -> set of snapshot digests observed in responses.
+    #: Coalescing and caching are only correct if every set has size 1.
+    snapshot_digests: Dict[str, set] = field(default_factory=dict)
+    #: Server counter deltas across the run (from ``GET /stats``).
+    executed: int = 0
+    coalesced: int = 0
+    warm_hits: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def percentile_ms(self, fraction: float) -> float:
+        """Nearest-rank latency percentile in milliseconds."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+        return ordered[rank]
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(0.50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(0.99)
+
+    def bit_identical(self) -> bool:
+        """True when every spec produced exactly one snapshot digest."""
+        return all(len(digests) == 1 for digests in self.snapshot_digests.values())
+
+
+def run_load(
+    host: str,
+    port: int,
+    specs: Sequence[RunSpec],
+    requests: int,
+    concurrency: int,
+    timeout_s: float = 300.0,
+) -> LoadReport:
+    """Drive *requests* round-robin requests over *concurrency* threads.
+
+    Each worker thread owns one keep-alive connection (the memcached/
+    nginx-runner shape: N persistent clients hammering one service).
+    Per-request wall-clock is measured client-side; the server's
+    executed/coalesced/warm counters are sampled before and after so
+    the report carries the *service's* account of what the burst cost.
+    """
+    if not specs:
+        raise ServeError("run_load needs at least one spec")
+    report = LoadReport(
+        requests=requests,
+        concurrency=max(1, concurrency),
+        distinct_specs=len({spec.digest() for spec in specs}),
+    )
+    with ServeClient(host, port, timeout_s) as probe:
+        before = probe.stats()
+
+    lock = threading.Lock()
+    queue = list(range(requests))
+
+    def worker() -> None:
+        with ServeClient(host, port, timeout_s) as client:
+            while True:
+                with lock:
+                    if not queue:
+                        return
+                    index = queue.pop()
+                spec = specs[index % len(specs)]
+                started = time.perf_counter()
+                try:
+                    response = client.run(spec)
+                except ServeError:
+                    with lock:
+                        report.errors += 1
+                    continue
+                latency_ms = (time.perf_counter() - started) * 1e3
+                with lock:
+                    report.ok += 1
+                    report.latencies_ms.append(latency_ms)
+                    report.snapshot_digests.setdefault(
+                        response.digest, set()
+                    ).add(response.snapshot_digest())
+
+    threads = [
+        threading.Thread(target=worker, name=f"repro-load-{i}", daemon=True)
+        for i in range(report.concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.elapsed_s = time.perf_counter() - started
+
+    with ServeClient(host, port, timeout_s) as probe:
+        after = probe.stats()
+    report.executed = int(after["executed"]) - int(before["executed"])
+    report.coalesced = int(after["coalesced"]) - int(before["coalesced"])
+    report.warm_hits = (
+        int(after["warm_memory"]) + int(after["warm_disk"])
+        - int(before["warm_memory"]) - int(before["warm_disk"])
+    )
+    return report

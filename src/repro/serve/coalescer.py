@@ -1,0 +1,100 @@
+"""In-flight request coalescing: N identical requests, one execution.
+
+The "millions of users asking for the same figure" case: when a spec is
+already executing, a second request for the equal spec must not start a
+second simulation — it awaits the same result.  The
+:class:`RunCoalescer` keys in-flight work by the :class:`RunSpec`
+itself (frozen, hashable, content-equal), publishes each execution
+through an ``asyncio.Future``, and drives the work in a detached task
+so the execution outlives any one requester: a client that disconnects
+mid-run neither cancels nor orphans the simulation, and every other
+waiter still gets the snapshot.
+
+All bookkeeping runs on the event loop thread, so no locks are needed;
+the blocking executor work itself is delegated by the caller (the
+server hands in a ``run_in_executor`` thunk).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Set, Tuple
+
+from repro.analysis.plan import RunSpec
+
+
+class RunCoalescer:
+    """Deduplicates concurrent executions of equal specs.
+
+    ``started`` counts executions actually launched; ``coalesced``
+    counts requests that piggybacked on one already in flight.  A cold
+    burst of K identical requests therefore ends with ``started == 1``
+    and ``coalesced == K - 1`` — the invariant the serve benchmarks and
+    CI smoke assert.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[RunSpec, asyncio.Future] = {}
+        self._tasks: Set[asyncio.Task] = set()
+        self.started = 0
+        self.coalesced = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of distinct specs currently executing."""
+        return len(self._inflight)
+
+    def is_inflight(self, spec: RunSpec) -> bool:
+        """True when *spec* is currently executing (a join would coalesce)."""
+        return spec in self._inflight
+
+    def submit(
+        self,
+        spec: RunSpec,
+        runner: Callable[[], Awaitable[object]],
+    ) -> Tuple["asyncio.Future[object]", bool]:
+        """Join or start the execution of *spec*.
+
+        Returns ``(future, started)``: the shared future resolving to
+        the run's snapshot, and whether this call launched the
+        execution (``False`` = coalesced onto an existing one).  Await
+        the future through :meth:`wait` (which shields it) so one
+        cancelled requester cannot cancel the shared work.
+        """
+        future = self._inflight.get(spec)
+        if future is not None:
+            self.coalesced += 1
+            return future, False
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[spec] = future
+        self.started += 1
+        task = loop.create_task(self._drive(spec, runner, future))
+        # The loop keeps only weak references to tasks; anchor it until
+        # done or the execution could be garbage-collected mid-run.
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return future, True
+
+    async def wait(self, future: "asyncio.Future[object]") -> object:
+        """Await a shared future without exposing it to cancellation."""
+        return await asyncio.shield(future)
+
+    async def _drive(self, spec, runner, future) -> None:
+        """Run one execution and publish its outcome to every waiter."""
+        try:
+            result = await runner()
+        except BaseException as exc:  # noqa: BLE001 — published, not dropped
+            self._inflight.pop(spec, None)
+            if not future.done():
+                future.set_exception(exc)
+            # With zero waiters left (every requester vanished) the
+            # exception would otherwise trip the "exception was never
+            # retrieved" warning at GC time; touch it to mark it seen.
+            await asyncio.sleep(0)
+            if future.done() and not future.cancelled():
+                future.exception()
+        else:
+            self._inflight.pop(spec, None)
+            if not future.done():
+                future.set_result(result)

@@ -1,0 +1,569 @@
+"""The coalescing cache-front sweep server (``python -m repro serve``).
+
+An asyncio HTTP/1.1 service in front of one
+:class:`~repro.analysis.executor.SweepExecutor` and its
+:class:`~repro.analysis.executor.SnapshotCache`.  Request resolution
+mirrors the executor's tiers, plus the service-only ones:
+
+1. **Warm** — memory/disk cache hits are answered immediately on any
+   shard (reads of the content-addressed cache are always safe).
+2. **Coalesced** — a request for a spec already executing awaits the
+   in-flight run instead of starting another (see
+   :mod:`repro.serve.coalescer`).
+3. **Executed** — cold specs owned by this shard run through
+   ``SweepExecutor.run`` on a thread pool, which since the PR-9 fix
+   means the full retry/backoff/timeout machinery of
+   :mod:`repro.analysis.retrypool` and the ``sweep.run`` fault site.
+4. **Rejected** — cold specs owned by another shard get a ``421`` JSON
+   response naming the owner, so multiple server processes can share
+   one cache directory without ever executing (or writing) the same
+   spec twice.
+
+Endpoints
+---------
+``GET /health``
+    Liveness + shard identity.
+``GET /stats``
+    Request/coalescing/warm-hit counters plus the executor's cache
+    stats (the counters CI asserts against).
+``POST /run``
+    Body ``{"spec": {...}}`` — one run, JSON response.  With
+    ``"stream": true`` the response is chunked NDJSON progress events
+    (``accepted``, ``warm``/``scheduled``/``coalesced``, then
+    ``completed`` or ``failed``).
+``POST /sweep``
+    Body ``{"specs": [...]}`` — chunked NDJSON: per-run ``completed``
+    events in completion order, then a ``summary`` event.
+
+The HTTP layer is deliberately tiny (request line + headers +
+``Content-Length`` body; responses either sized or chunked) — enough
+for the protocol, with zero dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro import faults
+from repro.analysis.executor import SweepExecutor
+from repro.analysis.plan import RunSpec
+from repro.errors import ConfigurationError, ExecutionError, ServeError
+from repro.serve.protocol import (
+    WIRE_SCHEMA_VERSION,
+    encode_event,
+    shard_of,
+    spec_from_wire,
+    specs_from_wire,
+)
+from repro.version import __version__
+
+#: Upper bound on accepted request bodies (a sweep of thousands of wire
+#: specs fits comfortably; anything larger is a malformed or hostile
+#: request, not a sweep).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: HTTP status for "right service, wrong shard".
+STATUS_WRONG_SHARD = 421
+
+
+@dataclass
+class ServeStats:
+    """Monotonic counters for one server process (``GET /stats``)."""
+
+    requests: int = 0
+    runs: int = 0
+    executed: int = 0
+    coalesced: int = 0
+    warm_memory: int = 0
+    warm_disk: int = 0
+    failures: int = 0
+    rejected_shard: int = 0
+    bad_requests: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+class _HttpRequest:
+    """One parsed request: method, path, headers, decoded JSON body."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str, headers: Dict[str, str],
+                 body: Optional[dict]) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[_HttpRequest]:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ServeError("malformed HTTP request line", status=400)
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ServeError("request body too large", status=413)
+    body: Optional[dict] = None
+    if length:
+        raw = await reader.readexactly(length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except ValueError as exc:
+            raise ServeError(f"request body is not JSON: {exc}", status=400)
+        if not isinstance(body, dict):
+            raise ServeError("request body must be a JSON object", status=400)
+    return _HttpRequest(method, path, headers, body)
+
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", STATUS_WRONG_SHARD: "Misdirected Request",
+    500: "Internal Server Error",
+}
+
+
+def _response_bytes(status: int, payload: Dict[str, object]) -> bytes:
+    """A complete sized JSON response."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: keep-alive\r\n\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def _chunked_head() -> bytes:
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: application/x-ndjson\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "Connection: keep-alive\r\n\r\n"
+    ).encode("latin-1")
+
+
+async def _write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+    writer.write(f"{len(data):x}\r\n".encode("latin-1") + data + b"\r\n")
+    await writer.drain()
+
+
+async def _end_chunks(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()
+
+
+class SweepServer:
+    """Long-running front end over one executor (one shard of many).
+
+    Parameters
+    ----------
+    executor:
+        The :class:`SweepExecutor` to resolve runs through; built from
+        *cache_dir*/*retry* when omitted.  Give it a ``retry`` policy —
+        the server inherits the executor's full fault tolerance.
+    shard_index / shard_count:
+        This process's slot in a shard group sharing one cache
+        directory.  Cold executions are accepted only for owned specs;
+        warm cache reads are served regardless.
+    parallel:
+        Concurrent executions this server runs (thread-pool size).
+        Each execution occupies one thread; coalescing means a burst of
+        identical requests still occupies only one.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[SweepExecutor] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        parallel: int = 2,
+    ) -> None:
+        from repro.serve.coalescer import RunCoalescer
+
+        if shard_count < 1:
+            raise ConfigurationError("shard_count must be >= 1")
+        if not 0 <= shard_index < shard_count:
+            raise ConfigurationError(
+                f"shard_index {shard_index} outside [0, {shard_count})"
+            )
+        self.executor = executor if executor is not None else SweepExecutor()
+        self.host = host
+        self.port = port
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.coalescer = RunCoalescer()
+        self.stats = ServeStats()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, int(parallel)),
+            thread_name_prefix="repro-serve",
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive handlers sit blocked in readline(); reap them
+        # so a stopping loop doesn't warn about still-pending tasks.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def owns(self, spec: RunSpec) -> bool:
+        """True when this shard executes *spec* (cold-path ownership)."""
+        return shard_of(spec, self.shard_count) == self.shard_index
+
+    async def resolve(self, spec: RunSpec) -> Tuple[object, str, float]:
+        """Resolve one spec: ``(snapshot, source, duration_s)``.
+
+        *source* is ``"memory"``/``"disk"`` (warm), ``"executed"``
+        (this request launched the run) or ``"coalesced"`` (it awaited
+        one already in flight).  Raises :class:`ServeError` with status
+        421 for a cold spec owned by another shard.
+        """
+        warm = self.executor.lookup(spec)
+        if warm is not None:
+            snapshot, source = warm
+            if source == "memory":
+                self.stats.warm_memory += 1
+            else:
+                self.stats.warm_disk += 1
+            return snapshot, source, 0.0
+        if not self.owns(spec):
+            self.stats.rejected_shard += 1
+            raise ServeError(
+                f"spec {spec.digest()[:12]} belongs to shard "
+                f"{shard_of(spec, self.shard_count)} of {self.shard_count}, "
+                f"not this shard ({self.shard_index})",
+                status=STATUS_WRONG_SHARD,
+            )
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        future, launched = self.coalescer.submit(
+            spec, lambda: loop.run_in_executor(self._pool, self.executor.run, spec)
+        )
+        if launched:
+            self.stats.executed += 1
+        else:
+            self.stats.coalesced += 1
+        snapshot = await self.coalescer.wait(future)
+        return (
+            snapshot,
+            "executed" if launched else "coalesced",
+            time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except ServeError as exc:
+                    self.stats.bad_requests += 1
+                    writer.write(_response_bytes(
+                        exc.status, {"status": "error", "error": str(exc)}
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                await self._dispatch(request, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        except asyncio.CancelledError:
+            pass  # reaped by aclose(); finish cleanly, not "cancelled"
+        finally:
+            try:
+                writer.close()
+                await asyncio.shield(writer.wait_closed())
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: _HttpRequest, writer) -> None:
+        self.stats.requests += 1
+        try:
+            faults.fire("serve.request", key=f"{request.method} {request.path}")
+            if request.method == "GET" and request.path == "/health":
+                await self._send(writer, 200, self._health())
+            elif request.method == "GET" and request.path == "/stats":
+                await self._send(writer, 200, self._stats_payload())
+            elif request.method == "POST" and request.path == "/run":
+                await self._handle_run(request, writer)
+            elif request.method == "POST" and request.path == "/sweep":
+                await self._handle_sweep(request, writer)
+            else:
+                await self._send(writer, 404, {
+                    "status": "error", "error": f"no route {request.method} {request.path}",
+                })
+        except ServeError as exc:
+            self.stats.bad_requests += 1
+            await self._send(writer, exc.status, {"status": "error", "error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — the server must survive
+            self.stats.failures += 1
+            await self._send(writer, 500, {
+                "status": "error", "error": f"{type(exc).__name__}: {exc}",
+            })
+
+    async def _send(self, writer, status: int, payload: Dict[str, object]) -> None:
+        writer.write(_response_bytes(status, payload))
+        await writer.drain()
+
+    def _health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "wire_schema": WIRE_SCHEMA_VERSION,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "in_flight": self.coalescer.in_flight,
+        }
+
+    def _stats_payload(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {"status": "ok"}
+        payload.update(self.stats.as_dict())
+        cache = self.executor.disk_cache
+        payload["cache"] = asdict(cache.stats) if cache is not None else None
+        return payload
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_schema(body: Optional[dict]) -> dict:
+        if body is None:
+            raise ServeError("request needs a JSON body")
+        declared = body.get("wire_schema", WIRE_SCHEMA_VERSION)
+        if declared != WIRE_SCHEMA_VERSION:
+            raise ServeError(
+                f"wire schema {declared!r} unsupported "
+                f"(this server speaks {WIRE_SCHEMA_VERSION})"
+            )
+        return body
+
+    def _run_payload(self, spec: RunSpec, snapshot, source: str,
+                     duration_s: float) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "digest": spec.digest(),
+            "source": source,
+            "duration_s": duration_s,
+            "snapshot": snapshot.to_dict(),
+        }
+
+    async def _handle_run(self, request: _HttpRequest, writer) -> None:
+        body = self._check_schema(request.body)
+        spec = spec_from_wire(body.get("spec"))
+        self.stats.runs += 1
+        if not body.get("stream"):
+            try:
+                snapshot, source, duration = await self.resolve(spec)
+            except ExecutionError as exc:
+                self.stats.failures += 1
+                await self._send(writer, 500, {
+                    "status": "error", "error": str(exc), "digest": spec.digest(),
+                })
+                return
+            await self._send(
+                writer, 200, self._run_payload(spec, snapshot, source, duration)
+            )
+            return
+
+        # Streaming mode: progress events over a chunked response.
+        writer.write(_chunked_head())
+        await writer.drain()
+        await _write_chunk(writer, encode_event({
+            "event": "accepted",
+            "digest": spec.digest(),
+            "shard": shard_of(spec, self.shard_count),
+        }))
+        try:
+            warm = self.executor.lookup(spec)
+            if warm is not None:
+                await _write_chunk(writer, encode_event(
+                    {"event": "warm", "source": warm[1]}
+                ))
+            elif self.coalescer.is_inflight(spec):
+                await _write_chunk(writer, encode_event({"event": "coalesced"}))
+            else:
+                await _write_chunk(writer, encode_event({"event": "scheduled"}))
+            snapshot, source, duration = await self.resolve(spec)
+        except (ServeError, ExecutionError) as exc:
+            if isinstance(exc, ExecutionError):
+                self.stats.failures += 1
+            await _write_chunk(writer, encode_event({
+                "event": "failed", "error": str(exc),
+                "status": getattr(exc, "status", 500),
+            }))
+        else:
+            payload = self._run_payload(spec, snapshot, source, duration)
+            payload["event"] = "completed"
+            del payload["status"]
+            await _write_chunk(writer, encode_event(payload))
+        await _end_chunks(writer)
+
+    async def _handle_sweep(self, request: _HttpRequest, writer) -> None:
+        body = self._check_schema(request.body)
+        specs = specs_from_wire(body.get("specs"))
+        self.stats.runs += len(specs)
+        writer.write(_chunked_head())
+        await writer.drain()
+        await _write_chunk(writer, encode_event({
+            "event": "accepted", "runs": len(specs),
+        }))
+
+        async def one(index: int, spec: RunSpec) -> Dict[str, object]:
+            try:
+                snapshot, source, duration = await self.resolve(spec)
+            except (ServeError, ExecutionError) as exc:
+                if isinstance(exc, ExecutionError):
+                    self.stats.failures += 1
+                return {
+                    "event": "failed", "index": index,
+                    "digest": spec.digest(), "error": str(exc),
+                    "status": getattr(exc, "status", 500),
+                }
+            payload = self._run_payload(spec, snapshot, source, duration)
+            payload["event"] = "completed"
+            payload["index"] = index
+            del payload["status"]
+            return payload
+
+        tasks = [
+            asyncio.ensure_future(one(index, spec))
+            for index, spec in enumerate(specs)
+        ]
+        completed = failed = 0
+        for finished in asyncio.as_completed(tasks):
+            event = await finished
+            if event["event"] == "completed":
+                completed += 1
+            else:
+                failed += 1
+            await _write_chunk(writer, encode_event(event))
+        await _write_chunk(writer, encode_event({
+            "event": "summary", "runs": len(specs),
+            "completed": completed, "failed": failed,
+        }))
+        await _end_chunks(writer)
+
+
+# ----------------------------------------------------------------------
+# Background hosting (tests, benches, the serve-bench CLI)
+# ----------------------------------------------------------------------
+class BackgroundServer:
+    """A :class:`SweepServer` running on its own event-loop thread.
+
+    The caller's thread stays free to drive the blocking client — the
+    shape every serve test and the load benchmark uses.  Always
+    ``stop()`` (or use as a context manager) so the loop thread joins.
+    """
+
+    def __init__(self, server: SweepServer) -> None:
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout_s: float = 10.0) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise ServeError("background server failed to start in time", status=500)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 — reported to starter
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.aclose())
+            self._loop.close()
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

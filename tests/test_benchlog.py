@@ -292,6 +292,83 @@ class TestFaultsSchema:
         validate_entry({"bench": "hotpath", "accesses_per_s": 1.0e6})
 
 
+class TestServeSchema:
+    """``bench: "serve"`` entries carry the service load-run shape."""
+
+    def good(self, **overrides):
+        entry = {
+            "bench": "serve",
+            "requests": 32,
+            "concurrency": 8,
+            "executed": 2,
+            "coalesced": 12,
+            "warm_hits": 18,
+            "throughput_rps": 140.5,
+            "p50_ms": 12.0,
+            "p99_ms": 55.0,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_accepts_well_formed_serve_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        validate_entry(self.good())
+        log = tmp_path / "BENCH.json"
+        append_bench_entry(log, self.good())
+        stored = latest_entry(log, bench="serve")
+        assert stored["coalesced"] == 12
+        assert stored["throughput_rps"] == 140.5
+
+    def test_zero_coalesced_and_warm_are_valid(self):
+        # A fully cold, duplicate-free run coalesces nothing.
+        validate_entry(self.good(coalesced=0, warm_hits=0, p50_ms=0, p99_ms=0))
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"requests": 0},
+            {"requests": None},
+            {"requests": 8.0},  # must be an int
+            {"requests": True},  # bool is not a count
+            {"concurrency": 0},
+            {"concurrency": -2},
+            {"coalesced": -1},
+            {"coalesced": None},
+            {"coalesced": "3"},
+            {"warm_hits": -1},
+            {"warm_hits": False},
+            {"throughput_rps": 0},
+            {"throughput_rps": -1.0},
+            {"throughput_rps": None},
+            {"p50_ms": -0.1},
+            {"p50_ms": None},
+            {"p99_ms": -5},
+            {"p99_ms": "fast"},
+        ],
+    )
+    def test_rejects_malformed_serve_fields(self, tmp_path, overrides):
+        bad = self.good(**overrides)
+        with pytest.raises(ValueError):
+            validate_entry(bad)
+        log = tmp_path / "BENCH.json"
+        with pytest.raises(ValueError):
+            append_bench_entry(log, bad)
+        assert not log.exists()
+
+    def test_missing_serve_fields_rejected(self):
+        for field in (
+            "requests", "concurrency", "coalesced", "warm_hits",
+            "throughput_rps", "p50_ms", "p99_ms",
+        ):
+            entry = self.good()
+            del entry[field]
+            with pytest.raises(ValueError, match=field):
+                validate_entry(entry)
+
+    def test_other_benches_do_not_need_serve_fields(self):
+        validate_entry({"bench": "hotpath", "accesses_per_s": 1.0e6})
+
+
 class TestDamageSalvage:
     """One bad byte must never erase the whole perf history again."""
 

@@ -597,3 +597,122 @@ def test_retry_resume_restarts_from_epoch_checkpoint(tmp_path):
     # than replaying from zero; the directory is fully refilled.
     found = latest_checkpoint(ckpt)
     assert found is not None and found[0] >= 3
+
+
+# ----------------------------------------------------------------------
+# Single-run fault tolerance (run() used to bypass run_tasks entirely)
+# ----------------------------------------------------------------------
+class TestSingleRunFaultTolerance:
+    """``SweepExecutor.run`` honours the retry policy like ``run_plan``.
+
+    The single-run path used to call ``execute_run_spec`` directly: no
+    retries, no deadline, and the ``sweep.run`` fault site never fired,
+    so every facade call and server request silently ran without the
+    fault tolerance the executor advertised.
+    """
+
+    def _spec(self, engine):
+        return RunSpec("barnes", "allarm", settings=TINY).with_engine(engine)
+
+    @pytest.mark.parametrize("engine", ("packed", "batched"))
+    def test_run_retries_and_heals(self, engine):
+        spec = self._spec(engine)
+        baseline = SweepExecutor().run(spec)
+        with faults.injected("sweep.run crash key=#0: attempts=1"):
+            executor = SweepExecutor(retry=RetryPolicy(max_attempts=2))
+            healed = executor.run(spec)
+            fired = sum(faults.fire_counts().values())
+        assert fired >= 1  # the crash really hit the single-run path
+        assert snapshot_diff(baseline, healed) == []
+
+    @pytest.mark.parametrize("engine", ("packed", "batched"))
+    def test_run_exhausted_attempts_raise(self, engine):
+        spec = self._spec(engine)
+        with faults.injected("sweep.run crash key=#0: attempts=99"):
+            executor = SweepExecutor(retry=RetryPolicy(max_attempts=2))
+            with pytest.raises(ExecutionError, match="permanently") as info:
+                executor.run(spec)
+        assert len(info.value.failures) == 1
+        failure = info.value.failures[0]
+        assert failure.spec == spec and failure.attempts == 2
+
+    def test_run_hang_is_killed_at_the_deadline(self):
+        spec = self._spec("packed")
+        baseline = SweepExecutor().run(spec)
+        with faults.injected("sweep.run hang key=#0: attempts=1 delay=3600"):
+            executor = SweepExecutor(
+                retry=RetryPolicy(max_attempts=2, timeout_s=4.0)
+            )
+            healed = executor.run(spec)
+        assert snapshot_diff(baseline, healed) == []
+        assert _no_leaked_children()
+
+    def test_run_interrupt_propagates(self):
+        spec = self._spec("packed")
+        with faults.injected("pool.collect interrupt key=0"):
+            with pytest.raises(KeyboardInterrupt):
+                SweepExecutor().run(spec)
+
+    def test_run_default_policy_still_fails_fast(self):
+        spec = self._spec("packed")
+        with faults.injected("sweep.run crash key=#0: attempts=1"):
+            with pytest.raises(ExecutionError):
+                SweepExecutor().run(spec)
+
+
+# ----------------------------------------------------------------------
+# Inline pool.collect parity (the 1-worker path used to skip the site)
+# ----------------------------------------------------------------------
+class TestInlineCollectParity:
+    def test_inline_sweep_fires_pool_collect(self):
+        plan = _tiny_plan()
+        with faults.injected("pool.collect interrupt key=0"):
+            outcome = SweepExecutor(workers=1).run_plan(plan)
+        assert outcome.interrupted and not outcome.ok
+        # The interrupt fired *after* run 0 was collected: its result is
+        # preserved, the remainder is marked interrupted — exactly the
+        # pooled path's semantics.
+        assert len(outcome.results) == 1
+        assert len(outcome.failures) == len(plan) - 1
+        assert all(f.kind == "interrupted" for f in outcome.failures)
+
+    def test_inline_collect_counts_match_pooled(self):
+        payloads = [1, 2, 3]
+        with faults.injected("pool.collect slow delay=0"):
+            inline = run_tasks(payloads, _double, max_workers=1)
+            inline_fired = sum(faults.fire_counts().values())
+        faults.clear()
+        with faults.injected("pool.collect slow delay=0"):
+            pooled = run_tasks(payloads, _double, max_workers=2)
+            pooled_fired = sum(faults.fire_counts().values())
+        assert inline.results == pooled.results
+        assert inline_fired == pooled_fired == len(payloads)
+
+
+def _double(value):
+    return value * 2
+
+
+# ----------------------------------------------------------------------
+# cached_fraction regression: failures count against the full plan
+# ----------------------------------------------------------------------
+def test_cached_fraction_counts_failures_against_plan(tmp_path):
+    plan = _tiny_plan()  # 4 specs
+    SweepExecutor(cache_dir=tmp_path).run_plan(plan)
+
+    # Evict one entry so exactly one spec must re-execute — and fail.
+    cache = SnapshotCache(tmp_path)
+    cache.path_for(plan.specs[1]).unlink()
+    with faults.injected("sweep.run crash key=#0: attempts=99"):
+        outcome = SweepExecutor(
+            cache_dir=tmp_path,
+            retry=RetryPolicy(max_attempts=2),
+            keep_going=True,
+        ).run_plan(plan)
+
+    assert not outcome.ok and len(outcome.failures) == 1
+    assert len(outcome.results) == len(plan) - 1
+    # 3 of 4 planned runs came from cache.  The old computation divided
+    # by the completed-result count and reported 3/3 = 1.0, letting a
+    # partly failed sweep sail through --min-cache-fraction gates.
+    assert outcome.cached_fraction == pytest.approx(3 / 4)
