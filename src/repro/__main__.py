@@ -39,6 +39,14 @@ Commands
     one) and report throughput, latency percentiles and the server's
     executed/coalesced/warm counters; optionally append the measurement
     to a ``bench:"serve"`` trajectory file.
+``scenarios sample``
+    Sample a reproducible set of generated workload families from the
+    parameter distributions of :mod:`repro.workloads.generator`, print
+    the set, and optionally write its JSON manifest / append a
+    ``bench:"scenarios"`` generation-throughput entry.
+``scenarios describe``
+    Print the full spec (regions, mix, phases, seeds, digest) a
+    ``scenario-<seed>-<index>`` name deterministically resolves to.
 ``plans``
     List the named plans and how many runs each contains at the current
     settings.
@@ -70,6 +78,10 @@ Examples
         --cache-dir .repro-cache
     python -m repro serve-bench --plan micro --specs 2 --requests 32 \\
         --concurrency 8 --bench-log BENCH_serve.json
+    python -m repro scenarios sample --seed 11 --count 8 \\
+        --manifest scenarios.json
+    python -m repro scenarios describe scenario-11-3
+    python -m repro sweep --plan scenarios --workers 4
     python -m repro plans
 """
 
@@ -601,6 +613,95 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_sample(args: argparse.Namespace) -> int:
+    from itertools import islice
+
+    from repro.analysis.benchlog import append_bench_entry
+    from repro.ioutil import atomic_write_json
+    from repro.workloads.base import SyntheticWorkload
+    from repro.workloads.generator import sample_scenarios
+
+    scenario_set = sample_scenarios(args.seed, args.count)
+    print(
+        f"sampled {len(scenario_set)} families (generator seed {args.seed}); "
+        f"names resolve in any process, no registration needed"
+    )
+    header = (
+        f"{'name':<18} {'thr':>3} {'sh':>2} {'footprint':>10} {'accesses':>9} "
+        f"{'phases':<28} digest"
+    )
+    print(header)
+    print("-" * len(header))
+    for family in scenario_set:
+        info = family.describe()
+        shapes = "+".join(p["pattern"] for p in info["phases"]) or "mix"
+        print(
+            f"{family.name:<18} {info['threads']:>3} {info['shared_regions']:>2} "
+            f"{info['footprint_bytes']:>10} {info['total_accesses']:>9} "
+            f"{shapes:<28} {info['spec_digest'][:12]}…"
+        )
+    if args.manifest:
+        atomic_write_json(args.manifest, scenario_set.manifest())
+        print(f"manifest written to {args.manifest}")
+    if args.bench_log:
+        # Generation throughput over a bounded prefix of every family:
+        # the number a trajectory reader needs to budget fuzz/sweep time.
+        produced = 0
+        started = time.perf_counter()
+        for family in scenario_set:
+            workload = SyntheticWorkload(family.builder(total_accesses=20_000))
+            produced += sum(1 for _ in islice(workload.generate(), 20_000))
+        elapsed = time.perf_counter() - started
+        entry = {
+            "bench": "scenarios",
+            "families": len(scenario_set),
+            "generator_seed": args.seed,
+            "gen_records_per_s": produced / elapsed if elapsed > 0 else 1.0,
+        }
+        written = append_bench_entry(args.bench_log, entry)
+        if written is not None:
+            print(f"trajectory entry appended to {written}")
+    return 0
+
+
+def _cmd_scenarios_describe(args: argparse.Namespace) -> int:
+    from repro.workloads.generator import parse_family_name, spec_digest
+    from repro.workloads.registry import build_spec
+
+    for name in args.names:
+        if parse_family_name(name) is None:
+            print(f"error: {name!r} is not a scenario family name", file=sys.stderr)
+            return 2
+        spec = build_spec(name)
+        print(f"{name}: {spec.description}")
+        print(f"  workload seed   {spec.seed}")
+        print(f"  spec digest     {spec_digest(spec)}")
+        print(f"  threads         {spec.thread_count}")
+        print(f"  total accesses  {spec.total_accesses} (at the builder default)")
+        print("  regions")
+        for region in spec.regions:
+            sharing = f" sharing={region.sharing}" if region.kind == "shared" else ""
+            print(
+                f"    {region.name:<10} {region.kind:<8} "
+                f"{region.bytes_per_instance:>9}B{sharing} reuse={region.reuse} "
+                f"wf={region.write_fraction:.3f} mix={spec.mix.get(region.name, 0.0)}"
+            )
+        if spec.phases:
+            print("  phases")
+            for phase in spec.phases:
+                target = phase.region or "(spec-wide mix)"
+                extra = (
+                    f" stride={phase.stride_lines}" if phase.pattern == "stride" else ""
+                )
+                print(
+                    f"    {phase.name:<8} {phase.pattern:<16} weight={phase.weight} "
+                    f"region={target}{extra}"
+                )
+        else:
+            print("  phases          none (stationary mix)")
+    return 0
+
+
 def _cmd_plans(args: argparse.Namespace) -> int:
     settings = _settings_from_args(args)
     benchmarks = _parse_benchmarks(args.benchmarks)
@@ -985,6 +1086,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_retry_arguments(serve_bench)
     _add_settings_arguments(serve_bench)
     serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="sample and inspect generated workload families (docs/scenarios.md)",
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+
+    sample = scenarios_sub.add_parser(
+        "sample", help="sample a reproducible scenario set and print its manifest"
+    )
+    sample.add_argument(
+        "--seed", type=int, default=0,
+        help="generator seed keying the whole set (default: 0)",
+    )
+    sample.add_argument(
+        "--count", type=int, default=8,
+        help="families to sample (default: 8)",
+    )
+    sample.add_argument(
+        "--manifest", metavar="PATH",
+        help="write the set's JSON manifest (names, seeds, spec digests) here",
+    )
+    sample.add_argument(
+        "--bench-log", metavar="PATH",
+        help=(
+            "append a bench:'scenarios' generation-throughput entry to this "
+            "trajectory file (e.g. BENCH_scenarios.json; default: don't)"
+        ),
+    )
+    sample.set_defaults(func=_cmd_scenarios_sample)
+
+    describe = scenarios_sub.add_parser(
+        "describe", help="print the full spec a scenario name resolves to"
+    )
+    describe.add_argument(
+        "names", nargs="+", metavar="NAME",
+        help="scenario family names (e.g. scenario-11-3)",
+    )
+    describe.set_defaults(func=_cmd_scenarios_describe)
 
     plans = subparsers.add_parser("plans", help="list named plans and sizes")
     _add_settings_arguments(plans)

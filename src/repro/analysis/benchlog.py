@@ -158,7 +158,11 @@ def validate_entry(entry: Dict[str, object]) -> None:
     service load-run shape: positive integers ``requests`` and
     ``concurrency``, non-negative integers ``coalesced`` and
     ``warm_hits``, a positive ``throughput_rps`` and non-negative
-    ``p50_ms``/``p99_ms`` latency percentiles.  Raises
+    ``p50_ms``/``p99_ms`` latency percentiles.  Entries declaring
+    ``bench: "scenarios"`` carry the generated-workload-set shape: a
+    positive integer ``families``, a non-negative integer
+    ``generator_seed`` (together they reproduce the exact set) and a
+    positive ``gen_records_per_s`` stream-generation throughput.  Raises
     :class:`ValueError` naming the offending
     field, so a malformed bench fails loudly instead of poisoning the
     persisted trajectory.
@@ -248,6 +252,28 @@ def validate_entry(entry: Dict[str, object]) -> None:
                     f"serve bench entry needs a non-negative {key!r} "
                     f"(got {value!r})"
                 )
+    if entry.get("bench") == "scenarios":
+        families = entry.get("families")
+        if not isinstance(families, int) or isinstance(families, bool) \
+                or families <= 0:
+            raise ValueError(
+                "scenarios bench entry needs a positive integer 'families' "
+                f"(got {families!r})"
+            )
+        generator_seed = entry.get("generator_seed")
+        if not isinstance(generator_seed, int) or isinstance(generator_seed, bool) \
+                or generator_seed < 0:
+            raise ValueError(
+                "scenarios bench entry needs a non-negative integer "
+                f"'generator_seed' (got {generator_seed!r})"
+            )
+        rate = entry.get("gen_records_per_s")
+        if not isinstance(rate, (int, float)) or isinstance(rate, bool) \
+                or not rate > 0:
+            raise ValueError(
+                "scenarios bench entry needs a positive 'gen_records_per_s' "
+                f"(got {rate!r})"
+            )
 
 
 #: Sentinel distinguishing "file exists but is not JSON" from "no file".

@@ -445,6 +445,50 @@ def microbench_plan(
     return SweepPlan(name="micro", specs=specs)
 
 
+#: Nominal probe-filter sizes the scenario plan sweeps: the paper's
+#: default plus a starved filter (sampled working sets vary over two
+#: orders of magnitude, so the starved size keeps eviction paths hot on
+#: the large draws).
+SCENARIO_PF_SIZES: Tuple[int, ...] = (512 * 1024, 64 * 1024)
+
+
+def scenario_plan(
+    settings: ExperimentSettings,
+    benchmarks: Optional[Iterable[str]] = None,
+    generator_seed: Optional[int] = None,
+    count: Optional[int] = None,
+    pf_sizes: Tuple[int, ...] = SCENARIO_PF_SIZES,
+    policies: Tuple[str, ...] = ("baseline", "allarm"),
+) -> SweepPlan:
+    """Both policies over a sampled scenario set at two filter sizes.
+
+    With *benchmarks* given, those names (typically ``scenario-*`` names
+    from a recorded manifest, resolved dynamically by the registry) form
+    the family axis; otherwise a fresh set is sampled from
+    ``generator_seed``/*count* (defaults: ``$REPRO_SCENARIO_SEED`` else
+    the settings seed; ``$REPRO_SCENARIO_COUNT`` else 8).  Sampling is
+    deterministic, so every worker process rebuilds the same streams
+    from the spec names alone — no registration hand-off needed.
+    """
+    if benchmarks is not None:
+        names = list(benchmarks)
+    else:
+        from repro.workloads.generator import sample_scenarios
+
+        if generator_seed is None:
+            generator_seed = env_int("REPRO_SCENARIO_SEED", settings.seed)
+        if count is None:
+            count = env_int("REPRO_SCENARIO_COUNT", 8)
+        names = sample_scenarios(generator_seed, count).names
+    specs = tuple(
+        RunSpec(benchmark=b, policy=p, pf_size=size, settings=settings)
+        for b in names
+        for p in policies
+        for size in pf_sizes
+    )
+    return SweepPlan(name="scenarios", specs=specs)
+
+
 def full_plan(
     settings: ExperimentSettings, benchmarks: Optional[Iterable[str]] = None
 ) -> SweepPlan:
@@ -467,6 +511,7 @@ PLAN_BUILDERS = {
     "fig3h": figure3h_plan,
     "fig4": figure4_plan,
     "micro": microbench_plan,
+    "scenarios": scenario_plan,
     "all": full_plan,
 }
 

@@ -67,6 +67,17 @@ GOLDEN_SETTINGS = ExperimentSettings(
 #: starved filter that keeps the eviction fan-out path hot.
 GOLDEN_PF_SIZES: Tuple[int, ...] = (512 * 1024, 32 * 1024)
 
+#: Generated-scenario slice of the corpus: a pinned generator seed and
+#: family count (multi-phase DSL streams whose fill/thrash regimes the
+#: hand-written grid lacks).  Scenario names are self-describing, so the
+#: grid rebuilds identically on every machine with no manifest file.
+GOLDEN_SCENARIO_SEED = 11
+GOLDEN_SCENARIO_COUNT = 4
+
+#: The starved filter only: the scenario families' thrash phases are
+#: what the second size exists for, so one size keeps the grid cheap.
+GOLDEN_SCENARIO_PF_SIZE = 32 * 1024
+
 #: Headline counters stored beside each digest as a mismatch diagnosis
 #: aid (the digest alone says "different", these say roughly *where*).
 HEADLINE_FIELDS: Tuple[str, ...] = (
@@ -105,6 +116,21 @@ def golden_specs() -> Tuple[RunSpec, ...]:
                 settings=GOLDEN_SETTINGS,
             )
         )
+    from repro.workloads.generator import sample_scenarios
+
+    scenario_names = sample_scenarios(
+        GOLDEN_SCENARIO_SEED, GOLDEN_SCENARIO_COUNT
+    ).names
+    for family in scenario_names:
+        for policy in ("baseline", "allarm"):
+            specs.append(
+                RunSpec(
+                    family,
+                    policy,
+                    pf_size=GOLDEN_SCENARIO_PF_SIZE,
+                    settings=GOLDEN_SETTINGS,
+                )
+            )
     return tuple(specs)
 
 

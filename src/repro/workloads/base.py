@@ -33,6 +33,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import WorkloadError
 from repro.trace.record import AccessRecord, AccessType
+from repro.workloads.patterns import PhaseSpec, generate_phases
 
 #: Virtual address where workload regions start being laid out.
 _LAYOUT_BASE = 0x1000_0000
@@ -117,7 +118,16 @@ class RegionSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Complete description of one synthetic benchmark."""
+    """Complete description of one synthetic benchmark.
+
+    ``phases`` optionally carries an ordered tuple of
+    :class:`~repro.workloads.patterns.PhaseSpec` entries; a phased spec's
+    compute stream is the barrier-separated concatenation of the phase
+    streams (see :mod:`repro.workloads.patterns`) instead of the single
+    stationary mix loop.  ``total_accesses`` stays the one run-length
+    knob: it is apportioned across the phases by weight, so
+    :meth:`scaled` shrinks a phased run without changing its structure.
+    """
 
     name: str
     regions: Tuple[RegionSpec, ...]
@@ -129,6 +139,7 @@ class WorkloadSpec:
     core_offset: int = 0
     include_init_phase: bool = True
     description: str = ""
+    phases: Tuple[PhaseSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.thread_count <= 0:
@@ -144,6 +155,15 @@ class WorkloadSpec:
         total = sum(self.mix.values())
         if total <= 0:
             raise WorkloadError(f"{self.name}: access mix sums to zero")
+        phase_names = {phase.name for phase in self.phases}
+        if len(phase_names) != len(self.phases):
+            raise WorkloadError(f"{self.name}: duplicate phase names")
+        for phase in self.phases:
+            if phase.region is not None and phase.region not in names:
+                raise WorkloadError(
+                    f"{self.name}: phase {phase.name!r} targets unknown "
+                    f"region {phase.region!r}"
+                )
 
     def scaled(self, scale: float) -> "WorkloadSpec":
         """Return a copy with the access count scaled by *scale*.
@@ -218,13 +238,8 @@ class SyntheticWorkload:
 
     def __init__(self, spec: WorkloadSpec) -> None:
         self.spec = spec
-        self._rng = random.Random(spec.seed)
         self._layout_cursor = _LAYOUT_BASE + spec.process_id * (1 << 34)
         self._instances: Dict[str, List[_RegionInstance]] = {}
-        self._cursors: Dict[Tuple[str, int], int] = {}
-        # Migratory regions: region name -> [current holder, accesses the
-        # holder has left before ownership passes on].
-        self._migratory_state: Dict[str, List[int]] = {}
         self._mix_names: List[str] = []
         self._mix_weights: List[float] = []
         self._regions_by_name: Dict[str, RegionSpec] = {
@@ -232,6 +247,25 @@ class SyntheticWorkload:
         }
         self._build_layout()
         self._build_mix()
+        self._reset_stream_state()
+
+    def _reset_stream_state(self) -> None:
+        """Rewind the per-stream mutable state to the start of the run.
+
+        Everything the stream draws on as it advances — the seeded RNG,
+        the sequential-reuse cursors, migratory-lock ownership — lives
+        here and is re-armed at the start of every :meth:`generate`
+        call.  Without the reset, a second generation pass on the same
+        instance would match the (RNG-free) init phase and then drift
+        from the first compute access onward, which is exactly how the
+        chunked path (:meth:`generate_chunks`) used to diverge from a
+        prior streamed pass at the init -> compute phase boundary.
+        """
+        self._rng = random.Random(self.spec.seed)
+        self._cursors: Dict[Tuple[str, int], int] = {}
+        # Migratory regions: region name -> [current holder, accesses the
+        # holder has left before ownership passes on].
+        self._migratory_state: Dict[str, List[int]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -242,7 +276,16 @@ class SyntheticWorkload:
         return self.spec.name
 
     def generate(self) -> Iterator[AccessRecord]:
-        """Yield the full interleaved access stream (init + compute)."""
+        """Yield the full interleaved access stream (init + compute).
+
+        Every call yields the same deterministic stream: the per-stream
+        state (RNG, cursors, lock ownership) is reset when iteration
+        begins, so :meth:`generate` and :meth:`generate_chunks` are
+        bit-identical and re-entrant on one instance.  (Two streams
+        *interleaved* from the same instance still share that state and
+        are not supported — consume one fully before starting the next.)
+        """
+        self._reset_stream_state()
         if self.spec.include_init_phase:
             yield from self._init_phase()
         yield from self._compute_phase()
@@ -355,6 +398,9 @@ class SyntheticWorkload:
     # Compute phase
     # ------------------------------------------------------------------
     def _compute_phase(self) -> Iterator[AccessRecord]:
+        if self.spec.phases:
+            yield from generate_phases(self)
+            return
         per_thread = self.spec.total_accesses // self.spec.thread_count
         remainder = self.spec.total_accesses - per_thread * self.spec.thread_count
         counts = [

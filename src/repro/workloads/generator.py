@@ -1,0 +1,469 @@
+"""Randomized scenario generator: sampled workload families at scale.
+
+The registry carries ~13 hand-written families, so every differential
+suite keeps exercising the same few sharing patterns.  This module grows
+the catalogue the way LITMUS-RT's ``mktasks.py``/``expgen.py`` grow
+task-set benchmarks: feasible workload *sets* are sampled from parameter
+distributions — thread count, sharing degree, working-set size,
+read/write mix, per-core utilization — and emitted as registered
+families with reproducible identities.
+
+Reproducibility contract
+------------------------
+* A family is named ``scenario-<generator_seed>-<index>`` (plus a
+  ``-s<salt>`` suffix when the name had to be salted, see below).  The
+  name is **self-describing**: every parameter of the family is derived
+  from a CRC-32 of ``"scenario/<generator_seed>/<index>"``, so any
+  process — a sweep worker, a serve shard, a replay job — rebuilds the
+  identical :class:`~repro.workloads.base.WorkloadSpec` from the name
+  alone, with no shared state (see :func:`resolve_builder` and the
+  dynamic-resolution hook in :mod:`repro.workloads.registry`).
+* The family name flows into :class:`~repro.analysis.plan.RunSpec`
+  identity (``benchmark`` keys both the cache token and the stream
+  token) and into the workload seed via
+  :func:`~repro.analysis.plan.seed_for`'s CRC-32, so generated families
+  can never alias each other's — or a hand-written family's — cached
+  snapshots or recorded traces.
+* Because ``seed_for`` is a CRC-32, two sampled names could in
+  principle collide to the same workload seed.  :func:`sample_scenarios`
+  audits the sampled set and *salts* a colliding name (bumping the
+  ``-s<salt>`` suffix) until its seed is unique; the salt changes only
+  the name (and hence the seed), never the sampled parameters.
+* Re-sampling with the same generator seed reproduces the exact same
+  family names, specs and spec digests (:func:`spec_digest`), which is
+  what lets a manifest recorded by one process be verified by another.
+
+``python -m repro scenarios sample|describe`` is the CLI front end;
+:func:`~repro.analysis.plan.scenario_plan` folds a sampled set into the
+sweep machinery.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import re
+import zlib
+from dataclasses import asdict, dataclass
+from hashlib import sha256
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.base import RegionSpec, WorkloadSpec
+from repro.workloads.patterns import PhaseSpec
+
+KB = 1024
+
+#: Prefix of every generated family name (the registry's dynamic-
+#: resolution hook keys off it).
+SCENARIO_PREFIX = "scenario-"
+
+#: ``scenario-<generator_seed>-<index>[-s<salt>]``.
+_NAME_PATTERN = re.compile(r"\Ascenario-(\d+)-(\d+)(?:-s([1-9]\d*))?\Z")
+
+#: Default compute-access budget of a generated family, matching the
+#: hand-written families' builder defaults.
+DEFAULT_FAMILY_ACCESSES = 200_000
+
+#: Manifest file layout version.
+MANIFEST_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameter distributions the sampler draws each family from.
+
+    Ranges are inclusive; sizes are sampled log-uniformly (working-set
+    behaviour is ratio-driven, so octaves — not bytes — should be
+    uniform).  The defaults span the regimes the hand-written catalogue
+    pins individually: cache-resident hot sets up to probe-filter- and
+    L2-thrashing sweeps, read-only to write-heavy mixes, 4 to 16
+    threads, low to full per-core utilization.
+    """
+
+    thread_counts: Tuple[int, ...] = (4, 8, 16)
+    shared_region_count: Tuple[int, int] = (1, 3)
+    shared_kib: Tuple[int, int] = (16, 4096)
+    private_kib: Tuple[int, int] = (8, 256)
+    write_fraction: Tuple[float, float] = (0.0, 0.6)
+    #: Fraction of compute accesses aimed at shared data (sharing degree).
+    sharing_degree: Tuple[float, float] = (0.2, 0.9)
+    #: Per-core demand: scales the family's access budget.
+    utilization: Tuple[float, float] = (0.25, 1.0)
+    sharing_modes: Tuple[str, ...] = (
+        "uniform",
+        "producer",
+        "halo",
+        "pipeline",
+        "zipf",
+        "migratory",
+    )
+    reuse_modes: Tuple[str, ...] = ("zipf", "sequential", "uniform")
+    #: Probability a family gets a warmup/steady/thrash phase structure
+    #: (the rest are single-phase stationary mixes).
+    multi_phase_fraction: float = 0.75
+    thrash_patterns: Tuple[str, ...] = ("random-read", "stride", "snake")
+    stride_choices: Tuple[int, ...] = (3, 5, 9, 17, 33)
+
+    def __post_init__(self) -> None:
+        if not self.thread_counts:
+            raise WorkloadError("generator needs at least one thread count")
+        for name in ("shared_region_count", "shared_kib", "private_kib"):
+            low, high = getattr(self, name)
+            if not 0 < low <= high:
+                raise WorkloadError(f"generator {name} range {low}..{high} is invalid")
+        for name in ("write_fraction", "sharing_degree", "utilization"):
+            low, high = getattr(self, name)
+            if not 0.0 <= low <= high <= 1.0:
+                raise WorkloadError(f"generator {name} range {low}..{high} is invalid")
+        if not 0.0 <= self.multi_phase_fraction <= 1.0:
+            raise WorkloadError("multi_phase_fraction must be in [0, 1]")
+
+
+DEFAULT_GENERATOR_CONFIG = GeneratorConfig()
+
+
+def family_name(generator_seed: int, index: int, salt: int = 0) -> str:
+    """Canonical name of sampled family *index* of set *generator_seed*."""
+    name = f"{SCENARIO_PREFIX}{generator_seed}-{index}"
+    return f"{name}-s{salt}" if salt else name
+
+
+def parse_family_name(name: str) -> Optional[Tuple[int, int, int]]:
+    """``(generator_seed, index, salt)`` for a scenario name, else ``None``."""
+    match = _NAME_PATTERN.match(name)
+    if match is None:
+        return None
+    seed_text, index_text, salt_text = match.groups()
+    return int(seed_text), int(index_text), int(salt_text or 0)
+
+
+def name_seed(name: str) -> int:
+    """The CRC-32 a family name contributes to ``seed_for``.
+
+    ``seed_for(name, base) == base * 1_000_003 + name_seed(name)``, so a
+    collision here is a workload-seed collision at every base seed —
+    exactly what :func:`sample_scenarios` salts away.
+    """
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def _family_rng(generator_seed: int, index: int) -> random.Random:
+    """Independent per-family RNG: resolving family *k* never requires
+    sampling families ``0..k-1`` first."""
+    return random.Random(name_seed(f"scenario/{generator_seed}/{index}"))
+
+
+def _log_uniform_kib(rng: random.Random, low_kib: int, high_kib: int) -> int:
+    """A KiB size sampled uniformly in log space, rounded to whole KiB."""
+    import math
+
+    exponent = rng.uniform(math.log(low_kib), math.log(high_kib))
+    return max(low_kib, min(high_kib, int(round(math.exp(exponent)))))
+
+
+def build_family_spec(
+    generator_seed: int,
+    index: int,
+    salt: int = 0,
+    total_accesses: int = DEFAULT_FAMILY_ACCESSES,
+    seed: Optional[int] = None,
+    config: GeneratorConfig = DEFAULT_GENERATOR_CONFIG,
+) -> WorkloadSpec:
+    """Deterministically materialise one sampled family's spec.
+
+    Parameters are a pure function of ``(generator_seed, index)`` — the
+    salt affects only the name (and through it the default workload
+    seed), so a salted rename never changes the family's shape.
+    ``total_accesses``/``seed`` follow the hand-written builders'
+    signature, so the result plugs straight into the registry; the
+    family's sampled per-core utilization and thread count scale the
+    access budget (a half-utilized 8-thread scenario issues a quarter
+    of a fully-utilized 16-thread one's compute accesses).
+    """
+    rng = _family_rng(generator_seed, index)
+    name = family_name(generator_seed, index, salt)
+
+    threads = rng.choice(config.thread_counts)
+    utilization = rng.uniform(*config.utilization)
+    sharing_degree = rng.uniform(*config.sharing_degree)
+    shared_count = rng.randint(*config.shared_region_count)
+
+    regions: List[RegionSpec] = [
+        RegionSpec(
+            name="locals",
+            kind="private",
+            bytes_per_instance=_log_uniform_kib(rng, *config.private_kib) * KB,
+            reuse=rng.choice(config.reuse_modes),
+            write_fraction=round(rng.uniform(*config.write_fraction), 3),
+        )
+    ]
+    mix: Dict[str, float] = {"locals": round(1.0 - sharing_degree, 4)}
+    # Shared-mix sub-weights: sampled, then normalised onto the sharing
+    # degree so the degree survives however many regions were drawn.
+    sub_weights = [rng.uniform(0.2, 1.0) for _ in range(shared_count)]
+    weight_total = sum(sub_weights)
+    for i in range(shared_count):
+        region_name = f"shared{i}"
+        regions.append(
+            RegionSpec(
+                name=region_name,
+                kind="shared",
+                bytes_per_instance=_log_uniform_kib(rng, *config.shared_kib) * KB,
+                sharing=rng.choice(config.sharing_modes),
+                reuse=rng.choice(config.reuse_modes),
+                write_fraction=round(rng.uniform(*config.write_fraction), 3),
+            )
+        )
+        mix[region_name] = round(sharing_degree * sub_weights[i] / weight_total, 4)
+
+    phases: Tuple[PhaseSpec, ...] = ()
+    if rng.random() < config.multi_phase_fraction:
+        # Warmup -> steady state -> thrash: the regime sequence the
+        # paper's stationary Section III suite under-represents.  The
+        # largest shared region is the one whose fill and thrash matter.
+        target = max(regions[1:], key=lambda region: region.bytes_per_instance).name
+        thrash_pattern = rng.choice(config.thrash_patterns)
+        phase_list = [
+            PhaseSpec(
+                "warmup",
+                "sequential-fill",
+                weight=round(rng.uniform(0.08, 0.2), 3),
+                region=target,
+            ),
+            PhaseSpec("steady", "mix", weight=round(rng.uniform(0.45, 0.7), 3)),
+            PhaseSpec(
+                "thrash",
+                thrash_pattern,
+                weight=round(rng.uniform(0.15, 0.3), 3),
+                region=target,
+                stride_lines=rng.choice(config.stride_choices),
+            ),
+        ]
+        if rng.random() < 0.5:
+            # Post-thrash recovery: steady state over a cold hierarchy.
+            phase_list.append(
+                PhaseSpec("recover", "mix", weight=round(rng.uniform(0.1, 0.25), 3))
+            )
+        phases = tuple(phase_list)
+
+    effective_accesses = max(
+        256, int(total_accesses * utilization * threads / 16)
+    )
+    if seed is None:
+        # Matches seed_for(name, 0) without importing the analysis layer.
+        seed = name_seed(name)
+    shapes = "+".join(phase.pattern for phase in phases) or "stationary mix"
+    return WorkloadSpec(
+        name=name,
+        regions=tuple(regions),
+        mix=mix,
+        thread_count=threads,
+        total_accesses=effective_accesses,
+        seed=seed,
+        description=(
+            f"sampled scenario ({threads}t, {shared_count} shared regions, "
+            f"sharing degree {sharing_degree:.2f}, utilization "
+            f"{utilization:.2f}, {shapes})"
+        ),
+        phases=phases,
+    )
+
+
+def resolve_builder(name: str) -> Optional[Callable[..., WorkloadSpec]]:
+    """A registry-compatible builder for a scenario name, else ``None``.
+
+    The returned callable has the hand-written builders' signature
+    (``total_accesses=``, ``seed=``), so
+    :func:`repro.workloads.registry.build_spec` can resolve generated
+    families on demand in any process — sweep workers and serve shards
+    need no out-of-band registration step.
+    """
+    parsed = parse_family_name(name)
+    if parsed is None:
+        return None
+    generator_seed, index, salt = parsed
+
+    def _builder(
+        total_accesses: int = DEFAULT_FAMILY_ACCESSES, seed: Optional[int] = None
+    ) -> WorkloadSpec:
+        return build_family_spec(
+            generator_seed, index, salt, total_accesses=total_accesses, seed=seed
+        )
+
+    return _builder
+
+
+def spec_digest(spec: WorkloadSpec) -> str:
+    """SHA-256 over the spec's canonical (sorted-keys) JSON form.
+
+    The manifest's reproducibility anchor: re-sampling a set with the
+    same generator seed must reproduce these digests bit for bit.
+    """
+    return sha256(
+        json.dumps(asdict(spec), sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """One sampled family: its identity plus the materialised template."""
+
+    name: str
+    generator_seed: int
+    index: int
+    salt: int
+    spec: WorkloadSpec
+
+    def builder(
+        self,
+        total_accesses: int = DEFAULT_FAMILY_ACCESSES,
+        seed: Optional[int] = None,
+    ) -> WorkloadSpec:
+        """Registry-compatible builder reproducing this family."""
+        return build_family_spec(
+            self.generator_seed,
+            self.index,
+            self.salt,
+            total_accesses=total_accesses,
+            seed=seed,
+        )
+
+    def workload_seed(self) -> int:
+        """The CRC-32 seed this family's name contributes to ``seed_for``."""
+        return name_seed(self.name)
+
+    def describe(self) -> Dict[str, object]:
+        """Manifest entry: identity, headline parameters, spec digest."""
+        return {
+            "name": self.name,
+            "index": self.index,
+            "salt": self.salt,
+            "workload_seed": self.workload_seed(),
+            "spec_digest": spec_digest(self.spec),
+            "threads": self.spec.thread_count,
+            "regions": len(self.spec.regions),
+            "shared_regions": sum(
+                1 for region in self.spec.regions if region.kind == "shared"
+            ),
+            "footprint_bytes": sum(
+                region.bytes_per_instance
+                * (self.spec.thread_count if region.kind == "private" else 1)
+                for region in self.spec.regions
+            ),
+            "total_accesses": self.spec.total_accesses,
+            "phases": [
+                {"name": phase.name, "pattern": phase.pattern, "weight": phase.weight}
+                for phase in self.spec.phases
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSet:
+    """An ordered, collision-audited set of sampled families."""
+
+    generator_seed: int
+    families: Tuple[ScenarioFamily, ...]
+
+    @property
+    def names(self) -> List[str]:
+        return [family.name for family in self.families]
+
+    def __len__(self) -> int:
+        return len(self.families)
+
+    def __iter__(self):
+        return iter(self.families)
+
+    def register(self) -> None:
+        """Pin every family into the registry (idempotent).
+
+        Registration is only needed when the set must appear in
+        :func:`~repro.workloads.registry.all_benchmark_names`; execution
+        paths resolve scenario names dynamically without it.  Names
+        already registered are skipped — by construction they resolve to
+        the identical spec.
+        """
+        from repro.workloads import registry
+
+        for family in self.families:
+            if family.name not in registry.registered_names():
+                registry.register(family.name, family.builder)
+
+    def unregister(self) -> None:
+        """Remove every family from the registry (missing names ignored)."""
+        from repro.workloads import registry
+
+        for family in self.families:
+            registry.unregister(family.name)
+
+    def manifest(self) -> Dict[str, object]:
+        """JSON-ready manifest: the set's full reproducible identity."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "generator_seed": self.generator_seed,
+            "count": len(self.families),
+            "families": [family.describe() for family in self.families],
+        }
+
+
+def assert_no_seed_collisions(names: List[str]) -> None:
+    """Raise :class:`WorkloadError` if any two names share a CRC-32 seed."""
+    seen: Dict[int, str] = {}
+    for name in names:
+        seed = name_seed(name)
+        other = seen.get(seed)
+        if other is not None and other != name:
+            raise WorkloadError(
+                f"workload-seed collision: {name!r} and {other!r} both hash "
+                f"to {seed} (crc32)"
+            )
+        seen[seed] = name
+
+
+def sample_scenarios(
+    generator_seed: int,
+    count: int,
+    config: GeneratorConfig = DEFAULT_GENERATOR_CONFIG,
+    total_accesses: int = DEFAULT_FAMILY_ACCESSES,
+    _seed_of: Callable[[str], int] = name_seed,
+) -> ScenarioSet:
+    """Sample *count* families under *generator_seed*, collision-free.
+
+    Each family's name is checked against every previously accepted
+    name's CRC-32 workload seed; on a collision the name is salted
+    (``-s1``, ``-s2``, ...) until its seed is unique within the set.
+    Salting renames without re-sampling, so the set's parameter draw is
+    independent of where collisions happen to land.  ``_seed_of`` exists
+    so tests can inject a colliding hash and pin the salting behaviour.
+    """
+    if generator_seed < 0:
+        raise WorkloadError("generator seed must be non-negative")
+    if count <= 0:
+        raise WorkloadError("scenario count must be positive")
+    taken: Dict[int, str] = {}
+    families: List[ScenarioFamily] = []
+    for index in range(count):
+        salt = 0
+        name = family_name(generator_seed, index, salt)
+        while _seed_of(name) in taken:
+            salt += 1
+            name = family_name(generator_seed, index, salt)
+        taken[_seed_of(name)] = name
+        spec = build_family_spec(
+            generator_seed, index, salt, total_accesses=total_accesses, config=config
+        )
+        families.append(
+            ScenarioFamily(
+                name=name,
+                generator_seed=generator_seed,
+                index=index,
+                salt=salt,
+                spec=spec,
+            )
+        )
+    scenario_set = ScenarioSet(generator_seed=generator_seed, families=tuple(families))
+    if _seed_of is name_seed:
+        assert_no_seed_collisions(scenario_set.names)
+    return scenario_set

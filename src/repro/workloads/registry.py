@@ -12,7 +12,7 @@ uniformly.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import WorkloadError
 from repro.workloads import microbench, parsec, splash2
@@ -72,25 +72,60 @@ def benchmark_names() -> List[str]:
 
 
 def all_benchmark_names() -> List[str]:
-    """Return every registered benchmark name: paper suite, then extras."""
+    """Return every registered benchmark name: paper suite, then extras.
+
+    Extras are sorted, never insertion-ordered, so two processes that
+    registered the same set — in whatever order their sweeps or serve
+    shards happened to touch the families — agree on the list exactly.
+    Dynamically-resolvable ``scenario-*`` names (see
+    :func:`_dynamic_builder`) appear only once *explicitly* registered;
+    on-demand resolution never mutates the registry, so the answer is a
+    pure function of the explicit registration set.
+    """
     extras = [name for name in _REGISTRY if name not in PAPER_BENCHMARKS]
     return list(PAPER_BENCHMARKS) + sorted(extras)
 
 
+def registered_names() -> List[str]:
+    """Sorted names explicitly present in the registry (no dynamic ones)."""
+    return sorted(_REGISTRY)
+
+
+def _dynamic_builder(name: str) -> Optional[SpecBuilder]:
+    """Resolve a generated ``scenario-*`` family from its name alone.
+
+    Generated family names are self-describing (the generator seed and
+    index are embedded), so any process can materialise the exact spec
+    without the sampling process shipping state to it.  Resolution does
+    **not** register the name: the registry's contents stay a pure
+    function of explicit :func:`register` calls, which is what keeps
+    :func:`all_benchmark_names` deterministic across sweep workers and
+    serve shards.
+    """
+    if not name.startswith("scenario-"):
+        return None
+    from repro.workloads import generator
+
+    return generator.resolve_builder(name)
+
+
 def is_registered(name: str) -> bool:
-    """True when *name* is a known benchmark."""
-    return name in _REGISTRY
+    """True when *name* is a known (or dynamically resolvable) benchmark."""
+    return name in _REGISTRY or _dynamic_builder(name) is not None
 
 
 def build_spec(name: str, **kwargs) -> WorkloadSpec:
     """Build the :class:`WorkloadSpec` for benchmark *name*.
 
     Keyword arguments are forwarded to the benchmark builder (typically
-    ``total_accesses`` and ``seed``).
+    ``total_accesses`` and ``seed``).  Generated ``scenario-*`` names
+    resolve on demand even when not registered (an explicit registration
+    takes precedence, letting tests pin variant builders).
     """
-    try:
-        builder = _REGISTRY[name]
-    except KeyError:
+    builder = _REGISTRY.get(name)
+    if builder is None:
+        builder = _dynamic_builder(name)
+    if builder is None:
         raise WorkloadError(
             f"unknown benchmark {name!r}; known benchmarks: {benchmark_names()}"
         )

@@ -344,6 +344,64 @@ class TestResidueAccounting:
         assert BatchedMachine(tiny_config()).batched_residue_ratio == 0.0
 
 
+class TestPhasedWorkloads:
+    """Multi-phase DSL streams through the chunked path (PR 10).
+
+    A phase switch changes the access pattern mid-stream — a
+    sequential fill becomes a stationary mix becomes a stride thrash —
+    and with odd chunk sizes the switch lands *inside* an
+    ``AccessChunk``.  Classifications taken before the boundary must
+    not be bulk-committed past it: the engine may classify
+    conservatively (more residue), but bit-identity with packed is
+    non-negotiable.
+    """
+
+    def phased_spec(self, total_accesses=3000):
+        # Needs phases AND <= CORES threads (the tiny 4-node machine).
+        from repro.workloads.generator import build_family_spec
+
+        for index in range(16):
+            spec = build_family_spec(11, index, total_accesses=total_accesses)
+            if spec.phases and spec.thread_count <= CORES:
+                return spec
+        raise AssertionError("no small phased family in scenario set 11")
+
+    def phased_stream(self, total_accesses=3000):
+        from repro.workloads.base import SyntheticWorkload
+
+        return list(SyntheticWorkload(self.phased_spec(total_accesses)).generate())
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 63, 8191])
+    def test_phase_switch_mid_chunk_is_bit_identical(self, chunk_size, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CHUNK", str(chunk_size))
+        stream = self.phased_stream()
+        config = tiny_config()
+        batched = Simulator(config, engine="batched").run(stream, "t").snapshot
+        packed = Simulator(config, engine="packed").run(stream, "t").snapshot
+        assert_snapshots_identical(
+            packed, batched, context=f"phased chunk={chunk_size}"
+        )
+
+    def test_phased_residue_accounting_stays_sane(self):
+        stream = self.phased_stream()
+        machine = BatchedMachine(tiny_config(), chunk_records=256)
+        for chunk in chunk_records(stream, chunk_size=256):
+            machine.perform_chunk(chunk, 1.0)
+        summary = machine.batch_summary()
+        assert summary["accesses"] == len(stream)
+        assert summary["bulk_hits"] + summary["residue"] == len(stream)
+        assert 0.0 <= machine.batched_residue_ratio <= 1.0
+
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    def test_scenario_runspec_matches_packed(self, policy):
+        from repro.analysis.executor import execute_run_spec
+
+        spec = RunSpec(self.phased_spec().name, policy, settings=TINY)
+        packed = execute_run_spec(spec.with_engine("packed"))
+        batched = execute_run_spec(spec.with_engine("batched"))
+        assert batched.to_dict() == packed.to_dict()
+
+
 class TestRunSpecPath:
     """The real harness path: RunSpec → executor → chunked replay."""
 

@@ -369,6 +369,70 @@ class TestServeSchema:
         validate_entry({"bench": "hotpath", "accesses_per_s": 1.0e6})
 
 
+class TestScenariosSchema:
+    """``bench: "scenarios"`` entries carry the generated-set shape."""
+
+    def good(self, **overrides):
+        entry = {
+            "bench": "scenarios",
+            "families": 8,
+            "generator_seed": 11,
+            "gen_records_per_s": 1.4e6,
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_accepts_well_formed_scenarios_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        validate_entry(self.good())
+        log = tmp_path / "BENCH.json"
+        append_bench_entry(log, self.good())
+        stored = latest_entry(log, bench="scenarios")
+        assert stored["families"] == 8
+        assert stored["generator_seed"] == 11
+
+    def test_generator_seed_zero_is_valid(self):
+        # Seed 0 is a legitimate generator seed, not a missing value.
+        validate_entry(self.good(generator_seed=0))
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"families": 0},
+            {"families": -3},
+            {"families": None},
+            {"families": 8.0},  # must be an int
+            {"families": True},  # bool is not a count
+            {"generator_seed": -1},
+            {"generator_seed": None},
+            {"generator_seed": "11"},
+            {"generator_seed": False},
+            {"gen_records_per_s": 0},
+            {"gen_records_per_s": -1.0},
+            {"gen_records_per_s": None},
+            {"gen_records_per_s": "fast"},
+        ],
+    )
+    def test_rejects_malformed_scenarios_fields(self, tmp_path, overrides):
+        bad = self.good(**overrides)
+        with pytest.raises(ValueError):
+            validate_entry(bad)
+        log = tmp_path / "BENCH.json"
+        with pytest.raises(ValueError):
+            append_bench_entry(log, bad)
+        assert not log.exists()
+
+    def test_missing_scenarios_fields_rejected(self):
+        for field in ("families", "generator_seed", "gen_records_per_s"):
+            entry = self.good()
+            del entry[field]
+            with pytest.raises(ValueError, match=field):
+                validate_entry(entry)
+
+    def test_other_benches_do_not_need_scenarios_fields(self):
+        validate_entry({"bench": "hotpath", "accesses_per_s": 1.0e6})
+
+
 class TestDamageSalvage:
     """One bad byte must never erase the whole perf history again."""
 

@@ -287,6 +287,75 @@ MISS_HEAVY = ExperimentSettings(
 MISS_HEAVY_FAMILIES = ("false-sharing", "migratory")
 
 
+#: Generator seed of the sampled-family lock-step smoke (the CI
+#: ``scenario-fuzz`` job selects this class with ``-k scenario``).
+SCENARIO_FUZZ_SEED = 11
+SCENARIO_FUZZ_COUNT = 4
+
+
+def run_lockstep_records(config, records, cadence):
+    """Record-driven sibling of :func:`run_lockstep`.
+
+    Same contract — reference and packed replay access-by-access, the
+    batched machine consumes the identical records as chunks flushed at
+    each cadence boundary, snapshots are diffed at every flush — but
+    driven by real :class:`AccessRecord` streams (a generated family's
+    init + phased compute output) instead of the synthetic tuple grid.
+    """
+    machines = [build_machine(config, "reference"), PackedMachine(config)]
+    batched = BatchedMachine(config)
+    pending = AccessChunk()
+    work_ns = config.core.cpu_work_per_access_ns
+    for step, record in enumerate(records, start=1):
+        for machine in machines:
+            clock = machine.nodes[record.core].clock
+            clock.instructions += 1
+            clock.now_ns += work_ns
+            latency = machine.perform_access(
+                record.core,
+                record.process_id,
+                record.vaddr,
+                record.access_type is AccessType.WRITE,
+                record.access_type is AccessType.INSTRUCTION,
+            )
+            clock.now_ns += latency
+            clock.stall_ns += latency
+        pending.append_record(record)
+        if step % cadence == 0 or step == len(records):
+            batched.perform_chunk(pending, work_ns)
+            pending = AccessChunk()
+            reference_snapshot = collect(machines[0])
+            for name, machine in (("packed", machines[1]), ("batched", batched)):
+                diffs = snapshot_diff(reference_snapshot, collect(machine))
+                assert diffs == [], (
+                    f"{name} engine diverged at step {step}/{len(records)}: "
+                    f"{diffs[:5]}"
+                )
+
+
+class TestScenarioFamilyLockstep:
+    """Sampled scenario families, three engines in lock-step mid-run.
+
+    The generated families compose multi-phase DSL streams (fill →
+    mix → thrash) whose phase boundaries land mid-chunk at the odd
+    cadence — the exact seam satellite 1's bugfix and the batched
+    chunk protocol must agree on.  The CI ``scenario-fuzz`` job runs
+    this class (``-k scenario``) over a freshly sampled manifest.
+    """
+
+    @pytest.mark.parametrize("index", range(SCENARIO_FUZZ_COUNT))
+    @pytest.mark.parametrize("policy", ["baseline", "allarm"])
+    def test_sampled_family_lockstep(self, index, policy):
+        from repro.workloads.generator import sample_scenarios
+
+        family = sample_scenarios(SCENARIO_FUZZ_SEED, SCENARIO_FUZZ_COUNT).families[
+            index
+        ]
+        spec = RunSpec(family.name, policy, settings=MISS_HEAVY)
+        records = list(spec.access_stream())
+        run_lockstep_records(spec.config(), records, cadence=997)
+
+
 class TestMissHeavyDualEngineSmoke:
     """False-sharing + migratory on both engines, via the real RunSpec path.
 
